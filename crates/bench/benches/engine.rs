@@ -1,0 +1,44 @@
+//! Criterion benches for the storage-engine simulator itself: how much
+//! wall-clock time one simulated benchmark point costs (the quantity that
+//! bounds every experiment), split by workload mix and compaction
+//! strategy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rafiki_engine::{run_benchmark, CompactionMethod, Engine, EngineConfig, ServerSpec};
+use rafiki_workload::{BenchmarkSpec, WorkloadGenerator, WorkloadSpec};
+
+fn one_point(read_ratio: f64, method: CompactionMethod) -> f64 {
+    let mut cfg = EngineConfig::default();
+    cfg.compaction_method = method;
+    let mut engine = Engine::new(cfg, ServerSpec::default());
+    engine.preload(30_000, 1_000);
+    let spec = WorkloadSpec {
+        initial_keys: 30_000,
+        ..WorkloadSpec::with_read_ratio(read_ratio)
+    };
+    let mut workload = WorkloadGenerator::new(spec, 7);
+    let bench = BenchmarkSpec {
+        duration_secs: 1.0,
+        warmup_secs: 0.25,
+        clients: 32,
+        sample_window_secs: 0.5,
+    };
+    run_benchmark(&mut engine, &mut workload, &bench).avg_ops_per_sec
+}
+
+fn bench_benchmark_point(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_benchmark_point");
+    group.sample_size(10);
+    for (label, rr) in [("write_heavy", 0.0), ("mixed", 0.5), ("read_heavy", 1.0)] {
+        group.bench_with_input(BenchmarkId::new("stcs", label), &rr, |b, &rr| {
+            b.iter(|| std::hint::black_box(one_point(rr, CompactionMethod::SizeTiered)))
+        });
+    }
+    group.bench_function("lcs/read_heavy", |b| {
+        b.iter(|| std::hint::black_box(one_point(1.0, CompactionMethod::Leveled)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_benchmark_point);
+criterion_main!(benches);

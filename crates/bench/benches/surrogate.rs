@@ -1,0 +1,78 @@
+//! Criterion benches for the surrogate model: single-prediction latency
+//! (the paper's 45 µs/evaluation claim, §4.8) and ensemble training time,
+//! including the ensemble-size ablation called out in DESIGN.md §5.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rafiki_neural::{Dataset, SurrogateConfig, SurrogateModel, TrainConfig};
+
+/// A deterministic synthetic response surface shaped like the tuning
+/// problem: 6 inputs (RR + 5 params), one throughput output.
+fn synthetic_dataset(n: usize) -> Dataset {
+    let mut rows = Vec::with_capacity(n);
+    let mut targets = Vec::with_capacity(n);
+    for i in 0..n {
+        let rr = (i % 11) as f64 / 10.0;
+        let cm = ((i / 11) % 2) as f64;
+        let cw = 2.0 + 126.0 * (((i * 37) % 100) as f64 / 99.0);
+        let fcz = 32.0 + 480.0 * (((i * 53) % 100) as f64 / 99.0);
+        let mt = 0.05 + 0.85 * (((i * 71) % 100) as f64 / 99.0);
+        let cc = 1.0 + 15.0 * (((i * 13) % 100) as f64 / 99.0);
+        rows.push(vec![rr, cm, cw, fcz, mt, cc]);
+        targets.push(
+            90_000.0 - 35_000.0 * rr + 25_000.0 * cm * rr - 900.0 * (cw - 40.0).abs()
+                + 18.0 * fcz
+                - 12_000.0 * (mt - 0.4).powi(2)
+                - 400.0 * cc,
+        );
+    }
+    Dataset::from_rows(&rows, targets)
+}
+
+fn training_config(epochs: usize) -> TrainConfig {
+    TrainConfig {
+        max_epochs: epochs,
+        ..TrainConfig::default()
+    }
+}
+
+fn bench_prediction_latency(c: &mut Criterion) {
+    let data = synthetic_dataset(200);
+    let model = SurrogateModel::fit(
+        &data,
+        &SurrogateConfig {
+            ensemble_size: 20,
+            train: training_config(60),
+            ..SurrogateConfig::default()
+        },
+    );
+    let probe = vec![0.9, 1.0, 32.0, 256.0, 0.3, 2.0];
+    // The paper reports ~45 µs per surrogate call on their machine.
+    c.bench_function("surrogate_predict_20net_ensemble", |b| {
+        b.iter(|| std::hint::black_box(model.predict(std::hint::black_box(&probe))))
+    });
+}
+
+fn bench_ensemble_training(c: &mut Criterion) {
+    let data = synthetic_dataset(200);
+    let mut group = c.benchmark_group("surrogate_training");
+    group.sample_size(10);
+    for nets in [1usize, 5, 20] {
+        group.bench_with_input(BenchmarkId::new("nets", nets), &nets, |b, &nets| {
+            b.iter(|| {
+                SurrogateModel::fit(
+                    &data,
+                    &SurrogateConfig {
+                        ensemble_size: nets,
+                        prune_fraction: if nets == 1 { 0.0 } else { 0.3 },
+                        train: training_config(40),
+                        ..SurrogateConfig::default()
+                    },
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_prediction_latency, bench_ensemble_training);
+criterion_main!(benches);

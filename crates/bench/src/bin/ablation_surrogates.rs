@@ -1,0 +1,9 @@
+//! Regenerates the surrogate-family ablation (DNN vs k-NN vs tree); see
+//! [`rafiki_bench::experiments::ablation_surrogates`]. Pass `--quick` for
+//! a reduced run.
+
+fn main() {
+    let quick = rafiki_bench::experiments::quick_flag();
+    let findings = rafiki_bench::experiments::ablation_surrogates::run(quick);
+    println!("\n{}", rafiki_bench::experiments::findings_table(&findings));
+}

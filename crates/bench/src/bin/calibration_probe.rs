@@ -1,0 +1,62 @@
+//! Calibration probe: prints the response-surface shapes the paper's
+//! figures depend on, plus wall-clock cost per benchmark point. Not one of
+//! the paper's experiments — a development tool for validating the
+//! simulator's calibration (documented in DESIGN.md §6).
+
+use rafiki_engine::{CompactionMethod, EngineConfig, ParamId};
+use std::time::Instant;
+
+fn main() {
+    let ctx = rafiki_bench::experiment_context();
+    let cfg = EngineConfig::default();
+
+    println!("== timing & Fig-4 default curve (STCS defaults) ==");
+    for rr in [0.0, 0.2, 0.4, 0.6, 0.8, 1.0] {
+        let t0 = Instant::now();
+        let tput = ctx.measure(rr, &cfg);
+        println!("RR={rr:.1}: {tput:>8.0} ops/s   ({:.2?} real)", t0.elapsed());
+    }
+
+    println!("\n== CM effect at RR=0.9 / 0.5 / 0.1 ==");
+    for rr in [0.9, 0.5, 0.1] {
+        let mut lc = cfg.clone();
+        lc.compaction_method = CompactionMethod::Leveled;
+        let st = ctx.measure(rr, &cfg);
+        let lv = ctx.measure(rr, &lc);
+        println!("RR={rr:.1}: STCS {st:>8.0}  LCS {lv:>8.0}  (LCS {:+.1}%)", (lv / st - 1.0) * 100.0);
+    }
+
+    println!("\n== Fig-6 CM x CW interdependency (RR=0.5) ==");
+    for cm in [CompactionMethod::SizeTiered, CompactionMethod::Leveled] {
+        for cw in [16u32, 32, 64] {
+            let mut c = cfg.clone();
+            c.compaction_method = cm;
+            c.concurrent_writes = cw;
+            let t = ctx.measure(0.5, &c);
+            println!("{cm:?} CW={cw}: {t:>8.0} ops/s");
+        }
+    }
+
+    println!("\n== single-param sweeps at RR=0.7 (ANOVA direction) ==");
+    let sweeps: Vec<(ParamId, Vec<f64>)> = vec![
+        (ParamId::ConcurrentWrites, vec![2.0, 32.0, 128.0]),
+        (ParamId::FileCacheSizeMb, vec![32.0, 256.0, 512.0]),
+        (ParamId::MemtableCleanupThreshold, vec![0.05, 0.3, 0.9]),
+        (ParamId::ConcurrentCompactors, vec![1.0, 2.0, 16.0]),
+        (ParamId::ConcurrentReads, vec![16.0, 32.0, 64.0]),
+        (ParamId::CommitlogSync, vec![0.0, 1.0]),
+        (ParamId::CompactionThroughputMbPerSec, vec![8.0, 16.0, 64.0]),
+        (ParamId::RowCacheSizeMb, vec![0.0, 256.0]),
+        (ParamId::BloomFilterFpChance, vec![0.001, 0.01, 0.2]),
+        (ParamId::BatchSizeWarnThresholdKb, vec![5.0, 500.0]),
+    ];
+    for (id, values) in sweeps {
+        print!("{id:?}: ");
+        for v in values {
+            let mut c = cfg.clone();
+            c.set(id, v);
+            print!("{v}={:.0} ", ctx.measure(0.7, &c));
+        }
+        println!();
+    }
+}

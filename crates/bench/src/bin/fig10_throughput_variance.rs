@@ -1,0 +1,8 @@
+//! Regenerates the paper artefact implemented in
+//! [`rafiki_bench::experiments::fig10_throughput_variance`]. Pass `--quick` for a reduced run.
+
+fn main() {
+    let quick = rafiki_bench::experiments::quick_flag();
+    let findings = rafiki_bench::experiments::fig10_throughput_variance::run(quick);
+    println!("\n{}", rafiki_bench::experiments::findings_table(&findings));
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper artefact implemented in
+//! [`rafiki_bench::experiments::fig6_interdependency`]. Pass `--quick` for a reduced run.
+
+fn main() {
+    let quick = rafiki_bench::experiments::quick_flag();
+    let findings = rafiki_bench::experiments::fig6_interdependency::run(quick);
+    println!("\n{}", rafiki_bench::experiments::findings_table(&findings));
+}

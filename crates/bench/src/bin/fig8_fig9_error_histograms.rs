@@ -1,0 +1,8 @@
+//! Regenerates the paper artefact implemented in
+//! [`rafiki_bench::experiments::fig8_fig9_error_histograms`]. Pass `--quick` for a reduced run.
+
+fn main() {
+    let quick = rafiki_bench::experiments::quick_flag();
+    let findings = rafiki_bench::experiments::fig8_fig9_error_histograms::run(quick);
+    println!("\n{}", rafiki_bench::experiments::findings_table(&findings));
+}

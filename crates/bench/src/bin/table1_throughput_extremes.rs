@@ -1,0 +1,8 @@
+//! Regenerates the paper artefact implemented in
+//! [`rafiki_bench::experiments::table1_throughput_extremes`]. Pass `--quick` for a reduced run.
+
+fn main() {
+    let quick = rafiki_bench::experiments::quick_flag();
+    let findings = rafiki_bench::experiments::table1_throughput_extremes::run(quick);
+    println!("\n{}", rafiki_bench::experiments::findings_table(&findings));
+}

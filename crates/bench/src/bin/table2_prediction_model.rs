@@ -1,0 +1,9 @@
+//! Regenerates Table 2 (prediction-model quality). Shares its evaluation
+//! with Figures 8/9; see
+//! [`rafiki_bench::experiments::fig8_fig9_error_histograms`].
+
+fn main() {
+    let quick = rafiki_bench::experiments::quick_flag();
+    let findings = rafiki_bench::experiments::fig8_fig9_error_histograms::run(quick);
+    println!("\n{}", rafiki_bench::experiments::findings_table(&findings));
+}

@@ -1,0 +1,44 @@
+//! Development diagnostic: why is the pure-write path capped?
+
+use rafiki_engine::{run_benchmark, Engine, EngineConfig, ServerSpec};
+use rafiki_workload::{BenchmarkSpec, WorkloadGenerator, WorkloadSpec};
+
+fn main() {
+    for rr in [0.0, 0.4, 1.0] {
+        let mut engine = Engine::new(EngineConfig::default(), ServerSpec::default());
+        engine.preload(60_000, 1_000);
+        let spec = WorkloadSpec {
+            read_ratio: rr,
+            initial_keys: 60_000,
+            ..WorkloadSpec::with_read_ratio(rr)
+        };
+        let mut wl = WorkloadGenerator::new(spec, 1);
+        let bench = BenchmarkSpec {
+            duration_secs: 4.0,
+            warmup_secs: 1.0,
+            clients: 40,
+            sample_window_secs: 1.0,
+        };
+        let r = run_benchmark(&mut engine, &mut wl, &bench);
+        let m = engine.metrics();
+        println!(
+            "RR={rr}: {:.0} ops/s  mean_lat={:.2}ms p99={:.2}ms  flushes={} compactions={} stall_s={:.2} tables={} cand/read={:.2} fchit={:.2}",
+            r.avg_ops_per_sec,
+            r.mean_latency_ms,
+            r.p99_latency_ms,
+            m.flushes,
+            m.compactions,
+            m.write_stall_ns as f64 / 1e9,
+            engine.table_count(),
+            m.avg_candidates_per_read(),
+            m.file_cache_hit_rate(),
+        );
+        println!(
+            "        memtable={}MB frozen={}MB active_compactions={} writes_done={}",
+            engine.memtable_bytes() >> 20,
+            engine.frozen_bytes() >> 20,
+            engine.active_compactions(),
+            m.writes_completed,
+        );
+    }
+}

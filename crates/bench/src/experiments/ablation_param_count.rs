@@ -1,0 +1,52 @@
+//! Ablation (DESIGN.md §5): does the ANOVA prune to 5 key parameters
+//! actually pay off versus feeding all 25 parameters to the surrogate?
+//! The paper argues pruning cuts data-collection and training cost without
+//! losing accuracy; this experiment quantifies both sides.
+
+use super::common::{
+    full_param_space, key_param_space, load_or_collect_dataset, paper_collection_plan,
+    paper_surrogate_config,
+};
+use super::Finding;
+use rafiki::ConfigSearchSpace;
+use rafiki_neural::SurrogateModel;
+
+fn fit_and_score(
+    tag: &str,
+    ctx: &rafiki::EvalContext,
+    space: &ConfigSearchSpace,
+    quick: bool,
+) -> (f64, f64) {
+    let plan = paper_collection_plan(quick);
+    let dataset = load_or_collect_dataset(tag, ctx, space, &plan);
+    let training = dataset.to_training_data();
+    let (train, test) = training.split_by_group(0.25, crate::EXPERIMENT_SEED, |i, _| {
+        dataset.samples[i].config_index
+    });
+    let t0 = std::time::Instant::now();
+    let model = SurrogateModel::fit(&train, &paper_surrogate_config(quick));
+    let train_secs = t0.elapsed().as_secs_f64();
+    (model.evaluate(&test).mape, train_secs)
+}
+
+/// Runs the 5-vs-25-parameter ablation.
+pub fn run(quick: bool) -> Vec<Finding> {
+    let ctx = if quick {
+        crate::quick_context()
+    } else {
+        crate::experiment_context()
+    };
+    let (mape5, secs5) = fit_and_score("cassandra", &ctx, &key_param_space(), quick);
+    println!("[ablation] 5 key params: MAPE {mape5:.1}%, training {secs5:.1}s");
+    let (mape25, secs25) = fit_and_score("cassandra_full", &ctx, &full_param_space(), quick);
+    println!("[ablation] all 25 params: MAPE {mape25:.1}%, training {secs25:.1}s");
+
+    vec![Finding::new(
+        "ablation",
+        "ANOVA-pruned 5 params vs all 25 params",
+        "pruning reduces complexity and collection overhead without hurting accuracy (§1)",
+        format!(
+            "unseen-config MAPE {mape5:.1}% (5 params, {secs5:.1}s training) vs {mape25:.1}% (25 params, {secs25:.1}s)"
+        ),
+    )]
+}

@@ -1,0 +1,85 @@
+//! Figure 3: patterns of workload for MG-RAST — read/write ratio per
+//! 15-minute window over 4 days, with abrupt regime transitions.
+
+use super::Finding;
+use rafiki_workload::{MgRastModel, Regime};
+
+/// Regenerates Figure 3.
+pub fn run(quick: bool) -> Vec<Finding> {
+    let model = MgRastModel {
+        days: if quick { 1 } else { 4 },
+        seed: crate::EXPERIMENT_SEED,
+        ..MgRastModel::default()
+    };
+    let trace = model.generate();
+    let rrs = trace.read_ratios();
+
+    let mut csv = String::from("window,minute,read_ratio,regime\n");
+    for w in &trace.windows {
+        csv.push_str(&format!(
+            "{},{},{:.4},{:?}\n",
+            w.index,
+            w.index as u32 * trace.window_minutes,
+            w.read_ratio,
+            Regime::classify(w.read_ratio)
+        ));
+    }
+    crate::write_output("fig3_workload_pattern.csv", &csv);
+
+    let occupancy = |r: Regime| {
+        rrs.iter().filter(|&&rr| Regime::classify(rr) == r).count() as f64 / rrs.len() as f64
+    };
+    let abrupt = trace.abrupt_transitions(0.4);
+    let dwell_note = {
+        // Fraction of regime dwells lasting exactly one window ("lasts for
+        // 15 minutes or less").
+        let mut dwells = Vec::new();
+        let mut current = Regime::classify(rrs[0]);
+        let mut len = 1usize;
+        for &rr in &rrs[1..] {
+            let r = Regime::classify(rr);
+            if r == current {
+                len += 1;
+            } else {
+                dwells.push(len);
+                current = r;
+                len = 1;
+            }
+        }
+        dwells.push(len);
+        let short = dwells.iter().filter(|&&d| d == 1).count();
+        format!("{:.0}% of dwells are a single window", 100.0 * short as f64 / dwells.len() as f64)
+    };
+
+    println!(
+        "Fig 3: {} windows, read-heavy {:.0}%, write-heavy {:.0}%, mixed {:.0}%, {} abrupt transitions; {}",
+        rrs.len(),
+        occupancy(Regime::ReadHeavy) * 100.0,
+        occupancy(Regime::WriteHeavy) * 100.0,
+        occupancy(Regime::Mixed) * 100.0,
+        abrupt,
+        dwell_note
+    );
+
+    vec![
+        Finding::new(
+            "Fig 3",
+            "trace shape",
+            "read-heavy, write-heavy and mixed periods; abrupt transitions; many periods last <= 15 min",
+            format!(
+                "read-heavy {:.0}% / write-heavy {:.0}% / mixed {:.0}% of windows; {} abrupt |dRR|>=0.4 transitions; {}",
+                occupancy(Regime::ReadHeavy) * 100.0,
+                occupancy(Regime::WriteHeavy) * 100.0,
+                occupancy(Regime::Mixed) * 100.0,
+                abrupt,
+                dwell_note
+            ),
+        ),
+        Finding::new(
+            "Fig 3",
+            "duration",
+            "4 days at 15-minute windows (384 windows)",
+            format!("{} windows of {} min", trace.windows.len(), trace.window_minutes),
+        ),
+    ]
+}

@@ -1,0 +1,73 @@
+//! Table 1: maximum, default, and minimum throughput over the sampled
+//! configurations at read ratios 90% / 50% / 10%. The paper reports the
+//! best configuration at RR=90% beating the worst by 102.5% and the
+//! default by ~59% — the motivation for tuning at all.
+
+use super::common::{key_param_space, load_or_collect_dataset, paper_collection_plan};
+use super::Finding;
+
+/// Regenerates Table 1.
+pub fn run(quick: bool) -> Vec<Finding> {
+    let ctx = if quick {
+        crate::quick_context()
+    } else {
+        crate::experiment_context()
+    };
+    let space = key_param_space();
+    let plan = paper_collection_plan(quick);
+    let dataset = load_or_collect_dataset("cassandra", &ctx, &space, &plan);
+
+    let rrs: Vec<f64> = if quick { vec![1.0, 0.5, 0.0] } else { vec![0.9, 0.5, 0.1] };
+    let mut rows = Vec::new();
+    let mut findings = Vec::new();
+    let paper = [
+        ("read=90%", "max 78,556 / default 53,461 / min 38,785 (max +102.5% over min)"),
+        ("read=50%", "max 89,981 / default 63,662 / min 53,372 (max +68.5% over min)"),
+        ("read=10%", "max 102,259 / default 88,771 / min 78,221 (max +30.7% over min)"),
+    ];
+    for (i, &rr) in rrs.iter().enumerate() {
+        let at: Vec<&rafiki::PerfSample> = dataset
+            .samples
+            .iter()
+            .filter(|s| (s.read_ratio - rr).abs() < 0.01)
+            .collect();
+        assert!(!at.is_empty(), "dataset misses RR={rr}");
+        let max = at
+            .iter()
+            .map(|s| s.throughput)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let min = at.iter().map(|s| s.throughput).fold(f64::INFINITY, f64::min);
+        let default = at
+            .iter()
+            .find(|s| s.config_index == 0)
+            .map(|s| s.throughput)
+            .expect("default config sampled");
+        let max_over_min = (max / min - 1.0) * 100.0;
+        let def_over_min = (default / min - 1.0) * 100.0;
+        println!(
+            "[table1] RR={rr:.1}: max {max:.0} ({max_over_min:+.1}% over min), default {default:.0} ({def_over_min:+.1}%), min {min:.0}"
+        );
+        rows.push(vec![
+            format!("Avg Throughput (read={:.0}%)", rr * 100.0),
+            format!("{max:.0}"),
+            format!("{default:.0}"),
+            format!("{min:.0}"),
+            format!("{max_over_min:.1}% / {def_over_min:.1}%"),
+        ]);
+        findings.push(Finding::new(
+            "Table 1",
+            format!("throughput spread at {}", paper[i].0),
+            paper[i].1,
+            format!(
+                "max {max:.0} / default {default:.0} / min {min:.0} (max {max_over_min:+.1}% over min, default {def_over_min:+.1}%)"
+            ),
+        ));
+    }
+    let table = crate::markdown_table(
+        &["workload", "Maximum", "Default", "Minimum", "max/def % over min"],
+        &rows,
+    );
+    crate::write_output("table1_throughput_extremes.md", &table);
+    println!("{table}");
+    findings
+}

@@ -1,0 +1,16 @@
+//! Shared infrastructure for the experiment binaries: experiment-scale
+//! evaluation contexts, result tables, and simple file output.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the
+//! paper; `run_all_experiments` chains them and rewrites the measured
+//! columns of `EXPERIMENTS.md`. Output files land in `target/experiments/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod context;
+pub mod experiments;
+pub mod output;
+
+pub use context::{experiment_context, quick_context, EXPERIMENT_SEED};
+pub use output::{markdown_table, write_output, OutputFile};

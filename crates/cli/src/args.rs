@@ -1,0 +1,123 @@
+//! A small dependency-free flag parser for the CLI: `--name value` pairs
+//! plus a positional subcommand.
+
+use std::collections::HashMap;
+
+/// Parsed command line: a subcommand plus `--flag value` options.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Args {
+    /// The first positional argument.
+    pub command: Option<String>,
+    flags: HashMap<String, String>,
+}
+
+/// A parse failure with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parses an argument list (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError`] for a flag without a value, an unexpected
+    /// positional, or a repeated flag.
+    pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Self, ArgError> {
+        let mut out = Args::default();
+        let mut it = argv.into_iter();
+        while let Some(arg) = it.next() {
+            if let Some(name) = arg.strip_prefix("--") {
+                let value = if name == "help" || name == "quick" {
+                    "true".to_string()
+                } else {
+                    it.next()
+                        .ok_or_else(|| ArgError(format!("--{name} needs a value")))?
+                };
+                if out.flags.insert(name.to_string(), value).is_some() {
+                    return Err(ArgError(format!("--{name} given twice")));
+                }
+            } else if out.command.is_none() {
+                out.command = Some(arg);
+            } else {
+                return Err(ArgError(format!("unexpected argument: {arg}")));
+            }
+        }
+        Ok(out)
+    }
+
+    /// String flag with a default.
+    pub fn get_or<'a>(&'a self, name: &str, default: &'a str) -> &'a str {
+        self.flags.get(name).map_or(default, String::as_str)
+    }
+
+    /// Whether a boolean flag was given.
+    pub fn has(&self, name: &str) -> bool {
+        self.flags.contains_key(name)
+    }
+
+    /// Numeric flag with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError`] when the value does not parse.
+    pub fn num_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, ArgError> {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgError(format!("--{name} {v}: not a valid number"))),
+        }
+    }
+
+    /// Names of flags that were provided.
+    pub fn flag_names(&self) -> Vec<&str> {
+        self.flags.keys().map(String::as_str).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Result<Args, ArgError> {
+        Args::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn parses_command_and_flags() {
+        let a = parse("tune --rr 0.9 --configs 8").unwrap();
+        assert_eq!(a.command.as_deref(), Some("tune"));
+        assert_eq!(a.get_or("rr", "0"), "0.9");
+        assert_eq!(a.num_or("configs", 0usize).unwrap(), 8);
+        assert_eq!(a.num_or("missing", 7u32).unwrap(), 7);
+    }
+
+    #[test]
+    fn boolean_flags_take_no_value() {
+        let a = parse("screen --quick --levels 2").unwrap();
+        assert!(a.has("quick"));
+        assert_eq!(a.num_or("levels", 4usize).unwrap(), 2);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse("tune --rr").is_err());
+        assert!(parse("tune extra positional").is_err());
+        assert!(parse("tune --rr 1 --rr 2").is_err());
+        assert!(parse("tune --rr abc").unwrap().num_or("rr", 0.5f64).is_err());
+    }
+
+    #[test]
+    fn empty_input_is_valid() {
+        let a = parse("").unwrap();
+        assert_eq!(a.command, None);
+    }
+}

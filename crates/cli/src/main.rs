@@ -1,0 +1,270 @@
+//! `rafiki-tune` — command-line front-end for the Rafiki reproduction.
+//!
+//! ```text
+//! rafiki-tune screen  [--rr 0.8] [--levels 4] [--quick]
+//! rafiki-tune tune    [--rr 0.9] [--configs 8] [--quick]
+//! rafiki-tune bench   [--rr 0.5] [--cm size-tiered|leveled] [--cw 32]
+//!                     [--fcz 256] [--mt 0.3] [--cc 2] [--seconds 4]
+//! rafiki-tune trace   [--days 4] [--seed 0]
+//! rafiki-tune ycsb    [--preset A|B|C|D|F] [--seconds 3]
+//! ```
+
+mod args;
+
+use args::{ArgError, Args};
+use rafiki::{
+    identify_key_parameters, EvalContext, RafikiTuner, ScreeningConfig, TunerConfig,
+};
+use rafiki_engine::{run_benchmark, CompactionMethod, Engine, EngineConfig, ServerSpec};
+use rafiki_workload::{
+    BenchmarkSpec, MgRastModel, Regime, WorkloadGenerator, WorkloadSpec, YcsbPreset,
+};
+
+const USAGE: &str = "\
+rafiki-tune — parameter tuning for the simulated NoSQL datastore
+
+USAGE:
+  rafiki-tune screen  [--rr 0.8] [--levels 4] [--quick]
+      ANOVA-screen all 25 parameters; print the ranking and key set.
+  rafiki-tune tune    [--rr 0.9] [--configs 8] [--quick]
+      Collect data, train the surrogate, GA-search a config for --rr.
+  rafiki-tune bench   [--rr 0.5] [--cm size-tiered|leveled] [--cw 32]
+                      [--fcz 256] [--mt 0.3] [--cc 2] [--seconds 4]
+      One benchmark of an explicit configuration.
+  rafiki-tune trace   [--days 4] [--seed 0]
+      Print an MG-RAST-like read-ratio trace as CSV.
+  rafiki-tune replay  --trace FILE [--window 0] [--seconds 3]
+      Benchmark one window of a saved trace on the default configuration.
+  rafiki-tune ycsb    [--preset A] [--seconds 3]
+      Benchmark a standard YCSB preset on the default configuration.
+";
+
+fn main() {
+    let args = match Args::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    if args.has("help") || args.command.is_none() {
+        println!("{USAGE}");
+        return;
+    }
+    let result = match args.command.as_deref() {
+        Some("screen") => cmd_screen(&args),
+        Some("tune") => cmd_tune(&args),
+        Some("bench") => cmd_bench(&args),
+        Some("trace") => cmd_trace(&args),
+        Some("replay") => cmd_replay(&args),
+        Some("ycsb") => cmd_ycsb(&args),
+        Some(other) => Err(ArgError(format!("unknown command: {other}"))),
+        None => unreachable!("handled above"),
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}\n\n{USAGE}");
+        std::process::exit(2);
+    }
+}
+
+fn context(quick: bool) -> EvalContext {
+    if quick {
+        EvalContext::small()
+    } else {
+        EvalContext::default()
+    }
+}
+
+fn cmd_screen(args: &Args) -> Result<(), ArgError> {
+    let cfg = ScreeningConfig {
+        read_ratio: args.num_or("rr", 0.8)?,
+        levels: args.num_or("levels", 4usize)?,
+        ..ScreeningConfig::default()
+    };
+    let ctx = context(args.has("quick"));
+    eprintln!("screening 25 parameters at RR={:.2}…", cfg.read_ratio);
+    let report = identify_key_parameters(&ctx, &cfg);
+    println!("{:<4} {:<44} {:>12}", "rank", "parameter", "sd(ops/s)");
+    for (i, s) in report.screens.iter().enumerate() {
+        println!("{:<4} {:<44} {:>12.0}", i + 1, s.info.name, s.effect.std_dev);
+    }
+    println!(
+        "\nkey parameters: {}",
+        report
+            .key_parameters
+            .iter()
+            .map(|p| p.name)
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    Ok(())
+}
+
+fn cmd_tune(args: &Args) -> Result<(), ArgError> {
+    let rr: f64 = args.num_or("rr", 0.9)?;
+    if !(0.0..=1.0).contains(&rr) {
+        return Err(ArgError(format!("--rr {rr} must be within [0, 1]")));
+    }
+    let mut cfg = TunerConfig::fast();
+    cfg.collection.configurations = args.num_or("configs", 8usize)?;
+    let ctx = context(args.has("quick"));
+    eprintln!(
+        "collecting {} configs x {} workloads…",
+        cfg.collection.configurations,
+        cfg.collection.read_ratios.len()
+    );
+    let mut tuner = RafikiTuner::new(ctx, cfg);
+    let report = tuner
+        .fit()
+        .map_err(|e| ArgError(format!("tuning failed: {e}")))?;
+    eprintln!(
+        "trained on {} samples over [{}]",
+        report.samples_collected,
+        report.key_parameters.join(", ")
+    );
+    let best = tuner
+        .optimize(rr)
+        .map_err(|e| ArgError(format!("search failed: {e}")))?;
+    let default_tput = tuner.context().measure(rr, &EngineConfig::default());
+    let tuned_tput = tuner.context().measure(rr, &best.config);
+    println!("workload read ratio : {rr:.2}");
+    println!("surrogate evals     : {}", best.surrogate_evaluations);
+    println!("predicted ops/s     : {:.0}", best.predicted_throughput);
+    println!("measured  ops/s     : {tuned_tput:.0} (default {default_tput:.0}, {:+.1}%)",
+        (tuned_tput / default_tput - 1.0) * 100.0);
+    println!("compaction_method            = {:?}", best.config.compaction_method);
+    println!("concurrent_writes            = {}", best.config.concurrent_writes);
+    println!("file_cache_size_in_mb        = {}", best.config.file_cache_size_mb);
+    println!("memtable_cleanup_threshold   = {:.2}", best.config.memtable_cleanup_threshold);
+    println!("concurrent_compactors        = {}", best.config.concurrent_compactors);
+    Ok(())
+}
+
+fn cmd_bench(args: &Args) -> Result<(), ArgError> {
+    let rr: f64 = args.num_or("rr", 0.5)?;
+    let mut cfg = EngineConfig::default();
+    cfg.compaction_method = match args.get_or("cm", "size-tiered") {
+        "size-tiered" | "stcs" => CompactionMethod::SizeTiered,
+        "leveled" | "lcs" => CompactionMethod::Leveled,
+        other => return Err(ArgError(format!("--cm {other}: use size-tiered|leveled"))),
+    };
+    cfg.concurrent_writes = args.num_or("cw", cfg.concurrent_writes)?;
+    cfg.file_cache_size_mb = args.num_or("fcz", cfg.file_cache_size_mb)?;
+    cfg.memtable_cleanup_threshold = args.num_or("mt", cfg.memtable_cleanup_threshold)?;
+    cfg.concurrent_compactors = args.num_or("cc", cfg.concurrent_compactors)?;
+
+    let preload = 60_000;
+    let mut engine = Engine::new(cfg, ServerSpec::default());
+    engine.preload(preload, 1_000);
+    let spec = WorkloadSpec {
+        initial_keys: preload,
+        ..WorkloadSpec::with_read_ratio(rr)
+    };
+    let mut workload = WorkloadGenerator::new(spec, args.num_or("seed", 0u64)?);
+    let bench = BenchmarkSpec {
+        duration_secs: args.num_or("seconds", 4.0)?,
+        warmup_secs: 1.0,
+        clients: args.num_or("clients", 64usize)?,
+        sample_window_secs: 1.0,
+    };
+    let r = run_benchmark(&mut engine, &mut workload, &bench);
+    println!("throughput : {:.0} ops/s", r.avg_ops_per_sec);
+    println!("mean lat   : {:.3} ms", r.mean_latency_ms);
+    println!("p99 lat    : {:.3} ms", r.p99_latency_ms);
+    println!("read ratio : {:.2}", r.observed_read_ratio());
+    println!("flushes    : {}", engine.metrics().flushes);
+    println!("compactions: {}", engine.metrics().compactions);
+    println!("sstables   : {}", engine.table_count());
+    Ok(())
+}
+
+fn cmd_trace(args: &Args) -> Result<(), ArgError> {
+    let model = MgRastModel {
+        days: args.num_or("days", 4u32)?,
+        seed: args.num_or("seed", 0u64)?,
+        ..MgRastModel::default()
+    };
+    let trace = model.generate();
+    // The format `replay --trace` parses (WorkloadTrace::to_csv).
+    print!("{}", trace.to_csv());
+    Ok(())
+}
+
+fn cmd_replay(args: &Args) -> Result<(), ArgError> {
+    let path = args.get_or("trace", "");
+    if path.is_empty() {
+        return Err(ArgError("replay needs --trace FILE".to_string()));
+    }
+    let csv = std::fs::read_to_string(path)
+        .map_err(|e| ArgError(format!("cannot read {path}: {e}")))?;
+    let trace = rafiki_workload::WorkloadTrace::from_csv(&csv)
+        .map_err(|e| ArgError(format!("{path}: {e}")))?;
+    let window = args.num_or("window", 0usize)?;
+    let Some(w) = trace.windows.get(window) else {
+        return Err(ArgError(format!(
+            "--window {window} out of range (trace has {} windows)",
+            trace.windows.len()
+        )));
+    };
+    println!(
+        "replaying window {} (RR {:.2}, regime {:?}) of {}",
+        w.index,
+        w.read_ratio,
+        Regime::classify(w.read_ratio),
+        path
+    );
+    let preload = 60_000;
+    let mut engine = Engine::new(EngineConfig::default(), ServerSpec::default());
+    engine.preload(preload, 1_000);
+    let spec = WorkloadSpec {
+        initial_keys: preload,
+        krd_mean: trace.krd_mean,
+        ..WorkloadSpec::with_read_ratio(w.read_ratio)
+    };
+    let mut workload = WorkloadGenerator::new(spec, args.num_or("seed", 0u64)?);
+    let bench = BenchmarkSpec {
+        duration_secs: args.num_or("seconds", 3.0)?,
+        warmup_secs: 1.0,
+        clients: 64,
+        sample_window_secs: 1.0,
+    };
+    let r = run_benchmark(&mut engine, &mut workload, &bench);
+    println!(
+        "window {}: {:.0} ops/s (observed RR {:.2}, p99 {:.3} ms)",
+        w.index,
+        r.avg_ops_per_sec,
+        r.observed_read_ratio(),
+        r.p99_latency_ms
+    );
+    Ok(())
+}
+
+fn cmd_ycsb(args: &Args) -> Result<(), ArgError> {
+    let preset = match args.get_or("preset", "A") {
+        "A" | "a" => YcsbPreset::A,
+        "B" | "b" => YcsbPreset::B,
+        "C" | "c" => YcsbPreset::C,
+        "D" | "d" => YcsbPreset::D,
+        "F" | "f" => YcsbPreset::F,
+        other => return Err(ArgError(format!("--preset {other}: use A|B|C|D|F"))),
+    };
+    let preload = 60_000;
+    let mut engine = Engine::new(EngineConfig::default(), ServerSpec::default());
+    engine.preload(preload, 1_000);
+    let mut workload = WorkloadGenerator::new(preset.spec(preload), 1);
+    let bench = BenchmarkSpec {
+        duration_secs: args.num_or("seconds", 3.0)?,
+        warmup_secs: 1.0,
+        clients: 64,
+        sample_window_secs: 1.0,
+    };
+    let r = run_benchmark(&mut engine, &mut workload, &bench);
+    println!(
+        "{preset}: {:.0} ops/s (RR {:.2}, mean {:.3} ms, p99 {:.3} ms)",
+        r.avg_ops_per_sec,
+        r.observed_read_ratio(),
+        r.mean_latency_ms,
+        r.p99_latency_ms
+    );
+    Ok(())
+}

@@ -1,0 +1,123 @@
+//! End-to-end tests of the `rafiki-tune` binary.
+
+use std::process::Command;
+
+fn run(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_rafiki-tune"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn help_prints_usage() {
+    let (ok, stdout, _) = run(&["--help"]);
+    assert!(ok);
+    assert!(stdout.contains("rafiki-tune"));
+    assert!(stdout.contains("screen"));
+    assert!(stdout.contains("replay"));
+}
+
+#[test]
+fn no_command_prints_usage() {
+    let (ok, stdout, _) = run(&[]);
+    assert!(ok);
+    assert!(stdout.contains("USAGE"));
+}
+
+#[test]
+fn unknown_command_fails_with_message() {
+    let (ok, _, stderr) = run(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"));
+}
+
+#[test]
+fn bad_flag_fails_with_message() {
+    let (ok, _, stderr) = run(&["bench", "--cw"]);
+    assert!(!ok);
+    assert!(stderr.contains("--cw needs a value"));
+}
+
+#[test]
+fn trace_emits_parseable_csv() {
+    let (ok, stdout, _) = run(&["trace", "--days", "1", "--seed", "3"]);
+    assert!(ok);
+    let trace = rafiki_workload::WorkloadTrace::from_csv(&stdout).expect("parseable trace");
+    assert_eq!(trace.windows.len(), 96);
+}
+
+#[test]
+fn bench_reports_throughput() {
+    let (ok, stdout, _) = run(&[
+        "bench", "--rr", "0.5", "--cm", "leveled", "--seconds", "1", "--clients", "16",
+    ]);
+    assert!(ok, "bench failed: {stdout}");
+    assert!(stdout.contains("throughput"), "{stdout}");
+    assert!(stdout.contains("sstables"), "{stdout}");
+}
+
+#[test]
+fn bench_rejects_bad_compaction_method() {
+    let (ok, _, stderr) = run(&["bench", "--cm", "quantum"]);
+    assert!(!ok);
+    assert!(stderr.contains("--cm quantum"));
+}
+
+#[test]
+fn trace_replay_roundtrip() {
+    let (ok, csv, _) = run(&["trace", "--days", "1", "--seed", "9"]);
+    assert!(ok);
+    let dir = std::env::temp_dir().join("rafiki_cli_test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("trace.csv");
+    std::fs::write(&path, &csv).expect("write trace");
+
+    let (ok, stdout, stderr) = run(&[
+        "replay",
+        "--trace",
+        path.to_str().expect("utf8 path"),
+        "--window",
+        "5",
+        "--seconds",
+        "1",
+    ]);
+    assert!(ok, "replay failed: {stderr}");
+    assert!(stdout.contains("window 5"), "{stdout}");
+    assert!(stdout.contains("ops/s"), "{stdout}");
+}
+
+#[test]
+fn replay_rejects_missing_and_out_of_range() {
+    let (ok, _, stderr) = run(&["replay"]);
+    assert!(!ok);
+    assert!(stderr.contains("--trace"));
+
+    let (ok, csv, _) = run(&["trace", "--days", "1"]);
+    assert!(ok);
+    let dir = std::env::temp_dir().join("rafiki_cli_test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("trace2.csv");
+    std::fs::write(&path, &csv).expect("write trace");
+    let (ok, _, stderr) = run(&[
+        "replay",
+        "--trace",
+        path.to_str().expect("utf8 path"),
+        "--window",
+        "100000",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("out of range"));
+}
+
+#[test]
+fn ycsb_preset_runs() {
+    let (ok, stdout, _) = run(&["ycsb", "--preset", "C", "--seconds", "1"]);
+    assert!(ok);
+    assert!(stdout.contains("YCSB-C"), "{stdout}");
+}

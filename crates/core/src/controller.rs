@@ -1,0 +1,275 @@
+//! The online reconfiguration controller: watches the workload's read
+//! ratio per window (15 minutes for MG-RAST) and re-runs the GA search
+//! whenever it shifts, applying a new configuration when the predicted
+//! gain justifies the switch.
+//!
+//! This is the "online stage" of §3.1 step 5 plus the dynamics the
+//! introduction motivates: *"large step changes in workloads are rapidly
+//! met with large step changes in configuration parameters."*
+
+use crate::tuner::{RafikiTuner, TunerError};
+use rafiki_engine::EngineConfig;
+use rafiki_workload::{RegimeMarkovForecaster, WorkloadTrace};
+use serde::{Deserialize, Serialize};
+
+/// Controller settings.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ControllerConfig {
+    /// Minimum read-ratio change (absolute) that triggers re-optimization.
+    pub rr_change_threshold: f64,
+    /// Minimum predicted relative improvement over the active
+    /// configuration required to actually switch (switching has a cost).
+    pub min_predicted_gain: f64,
+    /// Fraction of one window's throughput lost when reconfiguring (the
+    /// restart/settle cost; the paper leaves live reconfiguration to
+    /// future work, so we charge a conservative penalty).
+    pub reconfiguration_penalty: f64,
+    /// Proactive mode (the paper's future-work §6 extension): learn a
+    /// regime-Markov workload forecaster online and tune for the
+    /// *predicted next* window instead of the current one.
+    pub proactive: bool,
+}
+
+impl Default for ControllerConfig {
+    fn default() -> Self {
+        ControllerConfig {
+            rr_change_threshold: 0.15,
+            min_predicted_gain: 0.02,
+            reconfiguration_penalty: 0.05,
+            proactive: false,
+        }
+    }
+}
+
+/// One window of the controller's decision log.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WindowDecision {
+    /// Window index within the trace.
+    pub window: usize,
+    /// Observed read ratio.
+    pub read_ratio: f64,
+    /// Whether the controller re-ran the GA this window.
+    pub reoptimized: bool,
+    /// Whether the configuration actually changed.
+    pub switched: bool,
+    /// Predicted throughput of the active configuration.
+    pub predicted_throughput: f64,
+}
+
+/// Outcome of driving a controller across a trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ControllerReport {
+    /// Per-window decisions.
+    pub decisions: Vec<WindowDecision>,
+    /// Number of GA re-optimizations.
+    pub reoptimizations: usize,
+    /// Number of configuration switches.
+    pub switches: usize,
+}
+
+/// The online controller. Owns the active configuration and consults the
+/// fitted tuner on workload shifts.
+#[derive(Debug)]
+pub struct OnlineController<'t> {
+    tuner: &'t RafikiTuner,
+    cfg: ControllerConfig,
+    active: EngineConfig,
+    active_predicted: f64,
+    last_rr: Option<f64>,
+    forecaster: RegimeMarkovForecaster,
+}
+
+impl<'t> OnlineController<'t> {
+    /// Creates a controller starting from the default configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TunerError::NotFitted`] when the tuner has not been
+    /// fitted.
+    pub fn new(tuner: &'t RafikiTuner, cfg: ControllerConfig) -> Result<Self, TunerError> {
+        if tuner.surrogate().is_none() {
+            return Err(TunerError::NotFitted);
+        }
+        Ok(OnlineController {
+            tuner,
+            cfg,
+            active: EngineConfig::default(),
+            active_predicted: 0.0,
+            last_rr: None,
+            forecaster: RegimeMarkovForecaster::new(),
+        })
+    }
+
+    /// The currently active configuration.
+    pub fn active_config(&self) -> &EngineConfig {
+        &self.active
+    }
+
+    /// The online workload forecaster (useful for inspection in proactive
+    /// mode).
+    pub fn forecaster(&self) -> &RegimeMarkovForecaster {
+        &self.forecaster
+    }
+
+    /// Feeds one observed workload window; returns the decision taken.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tuner errors (cannot occur after successful
+    /// construction).
+    pub fn observe_window(
+        &mut self,
+        window: usize,
+        read_ratio: f64,
+    ) -> Result<WindowDecision, TunerError> {
+        let shifted = self
+            .last_rr
+            .is_none_or(|prev| (read_ratio - prev).abs() >= self.cfg.rr_change_threshold);
+        self.last_rr = Some(read_ratio);
+        self.forecaster.observe(read_ratio);
+
+        // In proactive mode, tune for where the workload is *going*; the
+        // forecast also triggers re-optimization when it anticipates a
+        // shift away from the current mix.
+        let target_rr = if self.cfg.proactive {
+            self.forecaster.predict_next_rr().unwrap_or(read_ratio)
+        } else {
+            read_ratio
+        };
+        let forecast_shift =
+            self.cfg.proactive && (target_rr - read_ratio).abs() >= self.cfg.rr_change_threshold;
+
+        let mut reoptimized = false;
+        let mut switched = false;
+        if shifted || forecast_shift {
+            reoptimized = true;
+            let space = self.tuner.space().ok_or(TunerError::NotFitted)?;
+            let candidate = self.tuner.optimize(target_rr)?;
+            let active_genome = space.genome_of(&self.active);
+            let active_pred = self.tuner.predict(read_ratio, &active_genome)?;
+            let gain = if active_pred > 0.0 {
+                (candidate.predicted_throughput - active_pred) / active_pred
+            } else {
+                f64::INFINITY
+            };
+            if candidate.config != self.active && gain >= self.cfg.min_predicted_gain {
+                self.active = candidate.config;
+                self.active_predicted = candidate.predicted_throughput;
+                switched = true;
+            } else {
+                self.active_predicted = active_pred;
+            }
+        } else {
+            let space = self.tuner.space().ok_or(TunerError::NotFitted)?;
+            let genome = space.genome_of(&self.active);
+            self.active_predicted = self.tuner.predict(read_ratio, &genome)?;
+        }
+
+        Ok(WindowDecision {
+            window,
+            read_ratio,
+            reoptimized,
+            switched,
+            predicted_throughput: self.active_predicted,
+        })
+    }
+
+    /// Drives the controller across a whole trace.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tuner errors.
+    pub fn run_trace(&mut self, trace: &WorkloadTrace) -> Result<ControllerReport, TunerError> {
+        let mut decisions = Vec::with_capacity(trace.windows.len());
+        for w in &trace.windows {
+            decisions.push(self.observe_window(w.index, w.read_ratio)?);
+        }
+        let reoptimizations = decisions.iter().filter(|d| d.reoptimized).count();
+        let switches = decisions.iter().filter(|d| d.switched).count();
+        Ok(ControllerReport {
+            decisions,
+            reoptimizations,
+            switches,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluator::EvalContext;
+    use crate::tuner::TunerConfig;
+    use rafiki_workload::MgRastModel;
+
+    fn fitted_tuner() -> RafikiTuner {
+        let mut tuner = RafikiTuner::new(EvalContext::small(), TunerConfig::fast());
+        tuner.fit().expect("fit succeeds");
+        tuner
+    }
+
+    #[test]
+    fn controller_requires_fitted_tuner() {
+        let tuner = RafikiTuner::new(EvalContext::small(), TunerConfig::fast());
+        assert!(OnlineController::new(&tuner, ControllerConfig::default()).is_err());
+    }
+
+    #[test]
+    fn stable_workload_avoids_reoptimization() {
+        let tuner = fitted_tuner();
+        let mut ctrl = OnlineController::new(&tuner, ControllerConfig::default()).unwrap();
+        let d0 = ctrl.observe_window(0, 0.8).unwrap();
+        assert!(d0.reoptimized, "first window always optimizes");
+        let d1 = ctrl.observe_window(1, 0.82).unwrap();
+        assert!(!d1.reoptimized, "small shift must not re-optimize");
+        let d2 = ctrl.observe_window(2, 0.2).unwrap();
+        assert!(d2.reoptimized, "large shift must re-optimize");
+    }
+
+    #[test]
+    fn proactive_mode_anticipates_learned_alternation() {
+        let tuner = fitted_tuner();
+        let cfg = ControllerConfig {
+            proactive: true,
+            ..ControllerConfig::default()
+        };
+        let mut ctrl = OnlineController::new(&tuner, cfg).unwrap();
+        // Teach it a strict read-heavy/write-heavy alternation.
+        for w in 0..16 {
+            let rr = if w % 2 == 0 { 0.95 } else { 0.05 };
+            ctrl.observe_window(w, rr).unwrap();
+        }
+        // After observing a write-heavy window, the forecaster predicts a
+        // read-heavy next window; proactive mode should already be running
+        // a read-oriented configuration (leveled compaction).
+        let d = ctrl.observe_window(16, 0.05).unwrap();
+        assert!(d.reoptimized, "forecast shift must trigger the GA");
+        assert_eq!(
+            ctrl.active_config().compaction_method,
+            rafiki_engine::CompactionMethod::Leveled,
+            "proactive controller should pre-position for the read-heavy window"
+        );
+        assert!(ctrl.forecaster().observations() >= 17);
+    }
+
+    #[test]
+    fn trace_run_reports_switch_counts() {
+        let tuner = fitted_tuner();
+        let mut ctrl = OnlineController::new(&tuner, ControllerConfig::default()).unwrap();
+        let trace = MgRastModel {
+            days: 1,
+            seed: 5,
+            ..MgRastModel::default()
+        }
+        .generate();
+        let report = ctrl.run_trace(&trace).unwrap();
+        assert_eq!(report.decisions.len(), trace.windows.len());
+        assert!(report.reoptimizations >= 1);
+        assert!(report.switches <= report.reoptimizations);
+        // The MG-RAST trace shifts regimes often; the controller must react.
+        assert!(
+            report.reoptimizations > trace.windows.len() / 20,
+            "only {} reoptimizations",
+            report.reoptimizations
+        );
+    }
+}

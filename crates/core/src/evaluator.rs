@@ -1,0 +1,180 @@
+//! The performance evaluator: runs one `(workload, configuration)`
+//! combination against the simulated datastore and reports mean
+//! throughput. This is the "ground truth" oracle Rafiki samples during its
+//! data-collection phase and that exhaustive search queries directly.
+
+use rafiki_engine::{run_benchmark, Engine, EngineConfig, ServerSpec};
+use rafiki_workload::{BenchmarkResult, BenchmarkSpec, WorkloadGenerator, WorkloadSpec};
+use serde::{Deserialize, Serialize};
+
+/// Which datastore flavor to benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DbFlavor {
+    /// The Cassandra-like engine: every configuration parameter respected.
+    Cassandra,
+    /// The ScyllaDB-like engine: internal auto-tuner, many parameters
+    /// ignored (see [`rafiki_engine::scylla`]).
+    Scylla,
+}
+
+/// Everything needed to benchmark a configuration under a workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvalContext {
+    /// Hardware specification.
+    pub server: ServerSpec,
+    /// Datastore flavor.
+    pub flavor: DbFlavor,
+    /// Benchmark harness settings.
+    pub bench: BenchmarkSpec,
+    /// Workload template; `read_ratio` is overridden per measurement.
+    pub workload: WorkloadSpec,
+    /// Rows preloaded before measuring (the paper's ~2-minute load phase).
+    pub preload_keys: u64,
+    /// Payload size of preloaded rows.
+    pub preload_payload: u32,
+    /// Seed for the workload generator.
+    pub seed: u64,
+}
+
+impl Default for EvalContext {
+    fn default() -> Self {
+        let preload_keys = 120_000;
+        EvalContext {
+            server: ServerSpec::default(),
+            flavor: DbFlavor::Cassandra,
+            bench: BenchmarkSpec {
+                duration_secs: 8.0,
+                warmup_secs: 2.0,
+                clients: 64,
+                sample_window_secs: 1.0,
+            },
+            workload: WorkloadSpec {
+                initial_keys: preload_keys,
+                ..WorkloadSpec::with_read_ratio(0.5)
+            },
+            preload_keys,
+            preload_payload: 1_000,
+            seed: 0,
+        }
+    }
+}
+
+impl EvalContext {
+    /// A faster, smaller context for tests and examples.
+    pub fn small() -> Self {
+        let preload_keys = 40_000;
+        EvalContext {
+            bench: BenchmarkSpec {
+                duration_secs: 3.0,
+                warmup_secs: 1.0,
+                clients: 32,
+                sample_window_secs: 1.0,
+            },
+            workload: WorkloadSpec {
+                initial_keys: preload_keys,
+                ..WorkloadSpec::with_read_ratio(0.5)
+            },
+            preload_keys,
+            preload_payload: 1_000,
+            ..EvalContext::default()
+        }
+    }
+
+    fn build_engine(&self, cfg: &EngineConfig) -> Engine {
+        let mut engine = match self.flavor {
+            DbFlavor::Cassandra => Engine::new(cfg.clone(), self.server),
+            DbFlavor::Scylla => rafiki_engine::scylla_engine(cfg, self.server),
+        };
+        engine.preload(self.preload_keys, self.preload_payload);
+        engine
+    }
+
+    /// Runs one full benchmark and returns the detailed result.
+    pub fn measure_detailed(&self, read_ratio: f64, cfg: &EngineConfig) -> BenchmarkResult {
+        let mut engine = self.build_engine(cfg);
+        let spec = WorkloadSpec {
+            read_ratio,
+            ..self.workload
+        };
+        let mut workload = WorkloadGenerator::new(spec, self.seed.wrapping_add(1));
+        run_benchmark(&mut engine, &mut workload, &self.bench)
+    }
+
+    /// Runs one benchmark and returns mean throughput (average operations
+    /// per second — the paper's performance metric, §2.3).
+    pub fn measure(&self, read_ratio: f64, cfg: &EngineConfig) -> f64 {
+        self.measure_detailed(read_ratio, cfg).avg_ops_per_sec
+    }
+
+    /// Runs one benchmark and scores it with an arbitrary DBA-selected
+    /// metric (§3.8 item 1; always oriented so larger is better).
+    pub fn measure_metric(
+        &self,
+        metric: crate::dba::PerformanceMetric,
+        read_ratio: f64,
+        cfg: &EngineConfig,
+    ) -> f64 {
+        metric.score(&self.measure_detailed(read_ratio, cfg))
+    }
+
+    /// Measures many points in parallel across OS threads (each engine is
+    /// an independent deterministic simulation, so results are identical
+    /// to the sequential order).
+    pub fn measure_many(&self, points: &[(f64, EngineConfig)]) -> Vec<f64> {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        let mut results = vec![0.0f64; points.len()];
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let results_mx = std::sync::Mutex::new(&mut results);
+        crossbeam::thread::scope(|s| {
+            for _ in 0..workers.min(points.len().max(1)) {
+                s.spawn(|_| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= points.len() {
+                        break;
+                    }
+                    let (rr, cfg) = &points[i];
+                    let v = self.measure(*rr, cfg);
+                    results_mx.lock().expect("poisoned results lock")[i] = v;
+                });
+            }
+        })
+        .expect("measurement thread panicked");
+        results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_is_deterministic() {
+        let ctx = EvalContext::small();
+        let cfg = EngineConfig::default();
+        assert_eq!(ctx.measure(0.5, &cfg), ctx.measure(0.5, &cfg));
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let ctx = EvalContext::small();
+        let cfg = EngineConfig::default();
+        let points: Vec<(f64, EngineConfig)> =
+            [0.0, 0.5, 1.0].iter().map(|&rr| (rr, cfg.clone())).collect();
+        let parallel = ctx.measure_many(&points);
+        for (i, &(rr, _)) in points.iter().enumerate() {
+            assert_eq!(parallel[i], ctx.measure(rr, &cfg));
+        }
+    }
+
+    #[test]
+    fn scylla_flavor_runs() {
+        let ctx = EvalContext {
+            flavor: DbFlavor::Scylla,
+            ..EvalContext::small()
+        };
+        let t = ctx.measure(0.7, &EngineConfig::default());
+        assert!(t > 1_000.0, "scylla throughput {t}");
+    }
+}

@@ -1,0 +1,353 @@
+//! The Rafiki tuner: screening → data collection → surrogate training →
+//! GA-based configuration optimization (the full workflow of §3.1).
+
+use crate::dataset::{CollectionPlan, PerfDataset};
+use crate::evaluator::EvalContext;
+use crate::screening::{identify_key_parameters, ScreeningConfig, ScreeningReport};
+use crate::search_space::ConfigSearchSpace;
+use rafiki_engine::{param_catalog, EngineConfig, ParamId, ParamInfo};
+use rafiki_ga::{GaConfig, Optimizer};
+use rafiki_neural::{SurrogateConfig, SurrogateModel};
+use serde::{Deserialize, Serialize};
+
+/// Tuner-level errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TunerError {
+    /// `optimize` was called before `fit`.
+    NotFitted,
+    /// Data collection produced no samples.
+    EmptyDataset,
+}
+
+impl std::fmt::Display for TunerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TunerError::NotFitted => write!(f, "tuner has not been fitted yet"),
+            TunerError::EmptyDataset => write!(f, "data collection produced no samples"),
+        }
+    }
+}
+
+impl std::error::Error for TunerError {}
+
+/// Tuner configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TunerConfig {
+    /// ANOVA screening settings; `None` skips the screen and uses
+    /// [`TunerConfig::fixed_params`] (or the paper's five key parameters).
+    pub screening: Option<ScreeningConfig>,
+    /// Parameters to tune when screening is disabled.
+    pub fixed_params: Option<Vec<ParamId>>,
+    /// Data-collection plan.
+    pub collection: CollectionPlan,
+    /// Surrogate-model settings.
+    pub surrogate: SurrogateConfig,
+    /// GA settings for the online search.
+    pub ga: GaConfig,
+}
+
+impl Default for TunerConfig {
+    fn default() -> Self {
+        TunerConfig {
+            screening: Some(ScreeningConfig::default()),
+            fixed_params: None,
+            collection: CollectionPlan::default(),
+            surrogate: SurrogateConfig::default(),
+            ga: GaConfig::default(),
+        }
+    }
+}
+
+impl TunerConfig {
+    /// A reduced configuration for tests and examples: skips the ANOVA
+    /// screen (uses the paper's five key parameters), collects a small
+    /// dataset, and trains a small ensemble.
+    pub fn fast() -> Self {
+        TunerConfig {
+            screening: None,
+            fixed_params: None,
+            collection: CollectionPlan {
+                configurations: 8,
+                read_ratios: vec![0.0, 0.25, 0.5, 0.75, 1.0],
+                ..CollectionPlan::default()
+            },
+            surrogate: SurrogateConfig {
+                hidden: vec![10, 4],
+                ensemble_size: 6,
+                train: rafiki_neural::TrainConfig {
+                    max_epochs: 80,
+                    ..rafiki_neural::TrainConfig::default()
+                },
+                ..SurrogateConfig::default()
+            },
+            ga: GaConfig {
+                population: 30,
+                generations: 30,
+                ..GaConfig::default()
+            },
+        }
+    }
+
+    /// The paper's five key parameters for Cassandra (§3.4.1), used when
+    /// screening is disabled and no explicit list is given.
+    pub fn paper_key_params() -> Vec<ParamId> {
+        vec![
+            ParamId::CompactionMethod,
+            ParamId::ConcurrentWrites,
+            ParamId::FileCacheSizeMb,
+            ParamId::MemtableCleanupThreshold,
+            ParamId::ConcurrentCompactors,
+        ]
+    }
+}
+
+/// Result of fitting the tuner.
+#[derive(Debug, Clone)]
+pub struct TunerReport {
+    /// The ANOVA screen (when it ran).
+    pub screening: Option<ScreeningReport>,
+    /// Names of the tuned parameters.
+    pub key_parameters: Vec<String>,
+    /// Number of training samples collected.
+    pub samples_collected: usize,
+}
+
+/// A configuration suggested by the tuner.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimizedConfig {
+    /// The full engine configuration.
+    pub config: EngineConfig,
+    /// Genome over the key parameters.
+    pub genome: Vec<f64>,
+    /// Surrogate-predicted throughput at this configuration.
+    pub predicted_throughput: f64,
+    /// Surrogate evaluations the search used.
+    pub surrogate_evaluations: usize,
+}
+
+/// The Rafiki middleware tuner.
+#[derive(Debug)]
+pub struct RafikiTuner {
+    ctx: EvalContext,
+    cfg: TunerConfig,
+    space: Option<ConfigSearchSpace>,
+    surrogate: Option<SurrogateModel>,
+    dataset: Option<PerfDataset>,
+    screening: Option<ScreeningReport>,
+}
+
+impl RafikiTuner {
+    /// Creates an unfitted tuner.
+    pub fn new(ctx: EvalContext, cfg: TunerConfig) -> Self {
+        RafikiTuner {
+            ctx,
+            cfg,
+            space: None,
+            surrogate: None,
+            dataset: None,
+            screening: None,
+        }
+    }
+
+    /// The evaluation context.
+    pub fn context(&self) -> &EvalContext {
+        &self.ctx
+    }
+
+    /// The search space over the key parameters (after fitting).
+    pub fn space(&self) -> Option<&ConfigSearchSpace> {
+        self.space.as_ref()
+    }
+
+    /// The collected dataset (after fitting).
+    pub fn dataset(&self) -> Option<&PerfDataset> {
+        self.dataset.as_ref()
+    }
+
+    /// The trained surrogate (after fitting).
+    pub fn surrogate(&self) -> Option<&SurrogateModel> {
+        self.surrogate.as_ref()
+    }
+
+    /// Runs the offline phases: parameter screen (optional), data
+    /// collection, and surrogate training.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TunerError::EmptyDataset`] when the collection plan is
+    /// degenerate.
+    pub fn fit(&mut self) -> Result<TunerReport, TunerError> {
+        // Phase 1-2: identify key parameters.
+        let key_params: Vec<ParamInfo> = if let Some(scfg) = &self.cfg.screening {
+            let report = identify_key_parameters(&self.ctx, scfg);
+            let keys = report.key_parameters.clone();
+            self.screening = Some(report);
+            keys
+        } else {
+            let ids = self
+                .cfg
+                .fixed_params
+                .clone()
+                .unwrap_or_else(TunerConfig::paper_key_params);
+            param_catalog()
+                .into_iter()
+                .filter(|p| ids.contains(&p.id))
+                .collect()
+        };
+        let space = ConfigSearchSpace::new(key_params, EngineConfig::default());
+
+        // Phase 3: data collection.
+        let dataset = self.cfg.collection.collect(&self.ctx, &space);
+        if dataset.is_empty() {
+            return Err(TunerError::EmptyDataset);
+        }
+
+        // Phase 4: surrogate training.
+        let surrogate = SurrogateModel::fit(&dataset.to_training_data(), &self.cfg.surrogate);
+
+        let report = TunerReport {
+            screening: self.screening.clone(),
+            key_parameters: space.params().iter().map(|p| p.name.to_string()).collect(),
+            samples_collected: dataset.len(),
+        };
+        self.space = Some(space);
+        self.dataset = Some(dataset);
+        self.surrogate = Some(surrogate);
+        Ok(report)
+    }
+
+    /// Installs a pre-trained surrogate + dataset (used by experiments
+    /// that train with custom splits).
+    pub fn install(
+        &mut self,
+        space: ConfigSearchSpace,
+        surrogate: SurrogateModel,
+        dataset: PerfDataset,
+    ) {
+        self.space = Some(space);
+        self.surrogate = Some(surrogate);
+        self.dataset = Some(dataset);
+    }
+
+    /// Phase 5 (online): searches the configuration space for the given
+    /// workload read ratio using the GA over the surrogate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TunerError::NotFitted`] before [`RafikiTuner::fit`].
+    pub fn optimize(&self, read_ratio: f64) -> Result<OptimizedConfig, TunerError> {
+        self.optimize_seeded(read_ratio, self.cfg.ga.seed)
+    }
+
+    /// Like [`RafikiTuner::optimize`] with an explicit GA seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TunerError::NotFitted`] before [`RafikiTuner::fit`].
+    pub fn optimize_seeded(
+        &self,
+        read_ratio: f64,
+        seed: u64,
+    ) -> Result<OptimizedConfig, TunerError> {
+        let (space, surrogate) = match (&self.space, &self.surrogate) {
+            (Some(s), Some(m)) => (s, m),
+            _ => return Err(TunerError::NotFitted),
+        };
+        let ga_cfg = GaConfig {
+            seed,
+            ..self.cfg.ga
+        };
+        let optimizer = Optimizer::new(space.to_ga_space(), ga_cfg);
+        let result = optimizer.run(|genome| {
+            let row = space.feature_row(read_ratio, genome);
+            surrogate.predict(&row)
+        });
+        Ok(OptimizedConfig {
+            config: space.config_from_genome(&result.best_genome),
+            genome: result.best_genome,
+            predicted_throughput: result.best_fitness,
+            surrogate_evaluations: result.evaluations,
+        })
+    }
+
+    /// Predicts throughput for a (read ratio, genome) pair with the
+    /// trained surrogate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TunerError::NotFitted`] before [`RafikiTuner::fit`].
+    pub fn predict(&self, read_ratio: f64, genome: &[f64]) -> Result<f64, TunerError> {
+        let (space, surrogate) = match (&self.space, &self.surrogate) {
+            (Some(s), Some(m)) => (s, m),
+            _ => return Err(TunerError::NotFitted),
+        };
+        Ok(surrogate.predict(&space.feature_row(read_ratio, genome)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn optimize_before_fit_errors() {
+        let tuner = RafikiTuner::new(EvalContext::small(), TunerConfig::fast());
+        assert_eq!(tuner.optimize(0.5).unwrap_err(), TunerError::NotFitted);
+        assert_eq!(tuner.predict(0.5, &[0.0; 5]).unwrap_err(), TunerError::NotFitted);
+    }
+
+    #[test]
+    fn fast_fit_and_optimize_improve_over_default() {
+        let ctx = EvalContext::small();
+        let mut tuner = RafikiTuner::new(ctx, TunerConfig::fast());
+        let report = tuner.fit().expect("fit succeeds");
+        assert_eq!(report.samples_collected, 8 * 5);
+        assert_eq!(report.key_parameters.len(), 5);
+
+        let best = tuner.optimize(0.9).expect("fitted");
+        assert!(best.predicted_throughput > 0.0);
+        assert!(best.surrogate_evaluations > 100);
+
+        // The suggested configuration should genuinely beat the default on
+        // the real system for a read-heavy workload.
+        let default_tput = tuner.context().measure(0.9, &EngineConfig::default());
+        let tuned_tput = tuner.context().measure(0.9, &best.config);
+        assert!(
+            tuned_tput > default_tput,
+            "tuned {tuned_tput:.0} ops/s should beat default {default_tput:.0} ops/s"
+        );
+    }
+
+    #[test]
+    fn latency_objective_produces_lower_latency_configs() {
+        // §3.8 item 1: the DBA may tune for latency instead of throughput.
+        let ctx = EvalContext::small();
+        let mut cfg = TunerConfig::fast();
+        cfg.collection.metric = crate::dba::PerformanceMetric::MeanLatency;
+        let mut tuner = RafikiTuner::new(ctx, cfg);
+        tuner.fit().expect("fit succeeds");
+        let best = tuner.optimize(0.9).expect("fitted");
+        let default_lat = tuner
+            .context()
+            .measure_detailed(0.9, &EngineConfig::default())
+            .mean_latency_ms;
+        let tuned_lat = tuner
+            .context()
+            .measure_detailed(0.9, &best.config)
+            .mean_latency_ms;
+        assert!(
+            tuned_lat <= default_lat * 1.05,
+            "latency-tuned config ({tuned_lat:.2} ms) should not be slower than default ({default_lat:.2} ms)"
+        );
+    }
+
+    #[test]
+    fn optimization_is_deterministic_per_seed() {
+        let ctx = EvalContext::small();
+        let mut tuner = RafikiTuner::new(ctx, TunerConfig::fast());
+        tuner.fit().expect("fit succeeds");
+        let a = tuner.optimize_seeded(0.5, 3).unwrap();
+        let b = tuner.optimize_seeded(0.5, 3).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,199 @@
+//! The closed-loop benchmark driver: the YCSB-"shooter" analogue (§4.1)
+//! that loads an engine with a fixed number of clients and measures mean
+//! throughput, latency percentiles, and per-window throughput samples.
+
+use crate::server::{Engine, OpCompletion};
+use crate::sim::{SimDuration, SimTime};
+use rafiki_workload::{BenchmarkResult, BenchmarkSpec, OpKind, OperationSource, ThroughputSample};
+
+/// Runs a closed-loop benchmark against `engine`, pulling operations from
+/// `source`. Warm-up completions are discarded; the result covers
+/// `spec.duration_secs` of steady state.
+///
+/// # Panics
+///
+/// Panics when the spec fails validation.
+pub fn run_benchmark(
+    engine: &mut Engine,
+    source: &mut dyn OperationSource,
+    spec: &BenchmarkSpec,
+) -> BenchmarkResult {
+    spec.validate();
+    let warmup_end = engine.clock() + SimDuration::from_secs_f64(spec.warmup_secs);
+    let measure_end = warmup_end + SimDuration::from_secs_f64(spec.duration_secs);
+
+    // Prime one outstanding operation per client.
+    for client in 0..spec.clients as u64 {
+        let op = source.next_op();
+        engine.submit(client, op, engine.clock());
+    }
+
+    let mut measured: Vec<OpCompletion> = Vec::new();
+    let mut warmed = false;
+    loop {
+        if engine.next_event_time().is_none_or(|t| t > measure_end) {
+            break;
+        }
+        let Some(completions) = engine.step() else {
+            break;
+        };
+        let now = engine.clock();
+        if !warmed && now >= warmup_end {
+            engine.reset_metrics();
+            warmed = true;
+        }
+        for comp in completions {
+            if comp.token == crate::server::REPLICA_TOKEN {
+                continue;
+            }
+            if comp.completed_at >= warmup_end && comp.completed_at <= measure_end {
+                measured.push(comp);
+            }
+            let op = source.next_op();
+            engine.submit(comp.token, op, comp.completed_at);
+        }
+    }
+
+    summarize(&measured, warmup_end, spec)
+}
+
+/// Builds a [`BenchmarkResult`] from measured completions.
+pub fn summarize(
+    measured: &[OpCompletion],
+    measure_start: SimTime,
+    spec: &BenchmarkSpec,
+) -> BenchmarkResult {
+    let duration_secs = spec.duration_secs;
+    let total_ops = measured.len() as u64;
+    let read_ops = measured
+        .iter()
+        .filter(|c| c.kind == OpKind::Read)
+        .count() as u64;
+    let mut latencies_ms: Vec<f64> = measured
+        .iter()
+        .map(|c| c.latency().as_millis_f64())
+        .collect();
+    latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
+    let mean_latency_ms = if latencies_ms.is_empty() {
+        0.0
+    } else {
+        latencies_ms.iter().sum::<f64>() / latencies_ms.len() as f64
+    };
+    let p99_latency_ms = if latencies_ms.is_empty() {
+        0.0
+    } else {
+        let idx = ((latencies_ms.len() as f64 * 0.99) as usize).min(latencies_ms.len() - 1);
+        latencies_ms[idx]
+    };
+
+    // Per-window throughput samples (Figure 10 granularity).
+    let window = spec.sample_window_secs;
+    let n_windows = (duration_secs / window).ceil() as usize;
+    let mut counts = vec![0u64; n_windows.max(1)];
+    for c in measured {
+        let t = c.completed_at.since(measure_start).as_secs_f64();
+        let idx = ((t / window) as usize).min(counts.len() - 1);
+        counts[idx] += 1;
+    }
+    let samples: Vec<ThroughputSample> = counts
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| ThroughputSample {
+            time_secs: (i as f64 + 1.0) * window,
+            ops_per_sec: n as f64 / window,
+        })
+        .collect();
+
+    BenchmarkResult {
+        total_ops,
+        read_ops,
+        write_ops: total_ops - read_ops,
+        duration_secs,
+        avg_ops_per_sec: total_ops as f64 / duration_secs,
+        mean_latency_ms,
+        p99_latency_ms,
+        samples,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EngineConfig;
+    use crate::config::ServerSpec;
+    use rafiki_workload::{WorkloadGenerator, WorkloadSpec};
+
+    fn quick_spec() -> BenchmarkSpec {
+        BenchmarkSpec {
+            duration_secs: 2.0,
+            warmup_secs: 0.5,
+            clients: 32,
+            sample_window_secs: 0.5,
+        }
+    }
+
+    fn small_workload(rr: f64) -> WorkloadGenerator {
+        let spec = WorkloadSpec {
+            initial_keys: 50_000,
+            ..WorkloadSpec::with_read_ratio(rr)
+        };
+        WorkloadGenerator::new(spec, 1)
+    }
+
+    fn preloaded_engine() -> Engine {
+        let mut e = Engine::new(EngineConfig::default(), ServerSpec::default());
+        e.preload(50_000, 1_000);
+        e
+    }
+
+    #[test]
+    fn benchmark_produces_throughput() {
+        let mut engine = preloaded_engine();
+        let mut wl = small_workload(0.5);
+        let result = run_benchmark(&mut engine, &mut wl, &quick_spec());
+        assert!(result.total_ops > 1_000, "ops = {}", result.total_ops);
+        assert!(result.avg_ops_per_sec > 1_000.0);
+        assert!(result.mean_latency_ms > 0.0);
+        assert!(result.p99_latency_ms >= result.mean_latency_ms);
+        assert_eq!(result.samples.len(), 4);
+    }
+
+    #[test]
+    fn observed_read_ratio_tracks_workload() {
+        let mut engine = preloaded_engine();
+        let mut wl = small_workload(0.8);
+        let result = run_benchmark(&mut engine, &mut wl, &quick_spec());
+        assert!(
+            (result.observed_read_ratio() - 0.8).abs() < 0.05,
+            "observed RR {}",
+            result.observed_read_ratio()
+        );
+    }
+
+    #[test]
+    fn benchmark_is_deterministic() {
+        let run = || {
+            let mut engine = preloaded_engine();
+            let mut wl = small_workload(0.5);
+            run_benchmark(&mut engine, &mut wl, &quick_spec()).total_ops
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn write_heavy_beats_read_heavy_on_default_config() {
+        // Figure 4's headline: the default (size-tiered) configuration
+        // favours writes; throughput decreases as the read share grows.
+        let throughput = |rr: f64| {
+            let mut engine = preloaded_engine();
+            let mut wl = small_workload(rr);
+            run_benchmark(&mut engine, &mut wl, &quick_spec()).avg_ops_per_sec
+        };
+        let writes = throughput(0.0);
+        let reads = throughput(1.0);
+        assert!(
+            writes > reads,
+            "write-heavy {writes:.0} ops/s should beat read-heavy {reads:.0} ops/s on defaults"
+        );
+    }
+}

@@ -1,0 +1,418 @@
+//! Multi-node cluster simulation: a token ring of engines with
+//! replication, driven by a shared global event loop (§4.9's multi-server
+//! experiment).
+//!
+//! Routing follows Cassandra's model: a key's replicas are the `rf`
+//! consecutive ring positions starting at its hash owner. Writes execute
+//! on every replica and are acknowledged by the primary (consistency
+//! level ONE); reads are served by one replica, chosen round-robin.
+//! The client/coordinator network hop adds a fixed round-trip cost.
+
+use crate::config::{EngineConfig, ServerSpec};
+use crate::server::{Engine, OpCompletion, REPLICA_TOKEN};
+use crate::sim::{SimDuration, SimTime};
+use rafiki_workload::{BenchmarkResult, BenchmarkSpec, OpKind, OperationSource};
+
+/// Client-visible consistency level (§2.1: relaxing consistency is what
+/// buys NoSQL datastores their availability; metagenomics "can tolerate a
+/// certain degree of lack of consistency").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Consistency {
+    /// Acknowledge after the first replica responds (the paper's setting).
+    #[default]
+    One,
+    /// Acknowledge after a majority of replicas respond.
+    Quorum,
+}
+
+impl Consistency {
+    /// Number of replica acknowledgements required for `rf` replicas.
+    pub fn acks_required(self, rf: usize) -> usize {
+        match self {
+            Consistency::One => 1,
+            Consistency::Quorum => rf / 2 + 1,
+        }
+    }
+}
+
+/// Cluster topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterSpec {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Replication factor (1..=nodes). The paper's two-server experiment
+    /// uses RF = 2 "so that each instance stores an equivalent number of
+    /// keys as the single-server case".
+    pub replication_factor: usize,
+    /// Read/write consistency level.
+    pub consistency: Consistency,
+}
+
+impl ClusterSpec {
+    /// A spec with consistency ONE (the paper's setting).
+    pub fn new(nodes: usize, replication_factor: usize) -> Self {
+        ClusterSpec {
+            nodes,
+            replication_factor,
+            consistency: Consistency::One,
+        }
+    }
+
+    /// Validates the topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= replication_factor <= nodes`.
+    pub fn validate(&self) {
+        assert!(self.nodes >= 1, "cluster needs at least one node");
+        assert!(
+            (1..=self.nodes).contains(&self.replication_factor),
+            "replication factor must be in 1..=nodes"
+        );
+    }
+}
+
+fn ring_hash(key: u64) -> u64 {
+    // splitmix64 finalizer: uniform ring placement.
+    let mut x = key.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// The replica node indices of a key.
+pub fn replicas_of(key: u64, cluster: &ClusterSpec) -> Vec<usize> {
+    let owner = (ring_hash(key) % cluster.nodes as u64) as usize;
+    (0..cluster.replication_factor)
+        .map(|i| (owner + i) % cluster.nodes)
+        .collect()
+}
+
+/// A simulated cluster.
+#[derive(Debug)]
+pub struct Cluster {
+    nodes: Vec<Engine>,
+    spec: ClusterSpec,
+    rtt: SimDuration,
+}
+
+impl Cluster {
+    /// Builds a cluster of identical nodes, each preloaded with the keys it
+    /// replicates.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid topology.
+    pub fn new(
+        cfg: &EngineConfig,
+        server: ServerSpec,
+        spec: ClusterSpec,
+        preload_keys: u64,
+        payload_len: u32,
+    ) -> Self {
+        spec.validate();
+        let rtt = SimDuration::from_micros_f64(2.0 * server.network_latency_us);
+        let nodes = (0..spec.nodes)
+            .map(|node| {
+                let mut e = Engine::new(cfg.clone(), server);
+                e.preload_filtered(preload_keys, payload_len, |k| {
+                    replicas_of(k, &spec).contains(&node)
+                });
+                e
+            })
+            .collect();
+        Cluster { nodes, spec, rtt }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Clusters always have at least one node.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Access to a node's engine (for metrics inspection).
+    pub fn node(&self, i: usize) -> &Engine {
+        &self.nodes[i]
+    }
+
+    /// Runs a closed-loop benchmark against the cluster. `spec.clients` is
+    /// the total client count across all shooters (the paper adds one
+    /// shooter per extra server).
+    pub fn run_benchmark(
+        &mut self,
+        source: &mut dyn OperationSource,
+        bench: &BenchmarkSpec,
+    ) -> BenchmarkResult {
+        bench.validate();
+        let t0 = self
+            .nodes
+            .iter()
+            .map(Engine::clock)
+            .max()
+            .expect("non-empty cluster");
+        let warmup_end = t0 + SimDuration::from_secs_f64(bench.warmup_secs);
+        let measure_end = warmup_end + SimDuration::from_secs_f64(bench.duration_secs);
+
+        let mut rr_counter = 0usize;
+        let mut measured: Vec<OpCompletion> = Vec::new();
+        // Outstanding acknowledgements per op id (consistency accounting).
+        let mut pending: std::collections::HashMap<u64, usize> = Default::default();
+        let mut next_op_id: u64 = 0;
+
+        // Prime the clients (one outstanding operation each).
+        for _ in 0..bench.clients {
+            let op = source.next_op();
+            let id = next_op_id;
+            next_op_id += 1;
+            let acks = self.dispatch(id, op, t0 + self.rtt.scale(0.5), &mut rr_counter);
+            pending.insert(id, acks);
+        }
+
+        loop {
+            // Globally earliest event across nodes.
+            let Some((node_idx, at)) = self
+                .nodes
+                .iter()
+                .enumerate()
+                .filter_map(|(i, n)| n.next_event_time().map(|t| (i, t)))
+                .min_by_key(|&(_, t)| t)
+            else {
+                break;
+            };
+            if at > measure_end {
+                break;
+            }
+            let Some(completions) = self.nodes[node_idx].step() else {
+                continue;
+            };
+            for comp in completions {
+                if comp.token == REPLICA_TOKEN {
+                    continue;
+                }
+                // Count this replica's acknowledgement; the client resumes
+                // only when the consistency level is satisfied.
+                let Some(remaining) = pending.get_mut(&comp.token) else {
+                    continue; // ack beyond the consistency level
+                };
+                *remaining -= 1;
+                if *remaining > 0 {
+                    continue;
+                }
+                pending.remove(&comp.token);
+
+                // Response hop back to the client.
+                let finished = OpCompletion {
+                    completed_at: comp.completed_at + self.rtt.scale(0.5),
+                    ..comp
+                };
+                if finished.completed_at >= warmup_end && finished.completed_at <= measure_end {
+                    measured.push(finished);
+                }
+                let op = source.next_op();
+                let id = next_op_id;
+                next_op_id += 1;
+                let acks = self.dispatch(
+                    id,
+                    op,
+                    finished.completed_at + self.rtt.scale(0.5),
+                    &mut rr_counter,
+                );
+                pending.insert(id, acks);
+            }
+        }
+
+        measured.sort_by_key(|c| c.completed_at);
+        crate::bench::summarize(&measured, warmup_end, bench)
+    }
+
+    /// Routes one operation and returns the number of acknowledgements the
+    /// consistency level requires before the client may resume.
+    ///
+    /// Reads go to `acks_required` replicas chosen round-robin; writes
+    /// execute on *every* replica (replication is not optional) but only
+    /// `acks_required` of them carry the op id — the rest are
+    /// fire-and-forget background replication.
+    fn dispatch(
+        &mut self,
+        op_id: u64,
+        op: rafiki_workload::Operation,
+        ready: SimTime,
+        rr_counter: &mut usize,
+    ) -> usize {
+        let replicas = replicas_of(op.key.0, &self.spec);
+        let acks = self
+            .spec
+            .consistency
+            .acks_required(self.spec.replication_factor);
+        match op.kind {
+            OpKind::Read | OpKind::Scan => {
+                *rr_counter += 1;
+                for i in 0..acks {
+                    let node = replicas[(*rr_counter + i) % replicas.len()];
+                    let ready = ready.max(self.nodes[node].clock());
+                    self.nodes[node].submit(op_id, op, ready);
+                }
+            }
+            OpKind::Insert | OpKind::Update | OpKind::Delete => {
+                for (i, &node) in replicas.iter().enumerate() {
+                    let tok = if i < acks { op_id } else { REPLICA_TOKEN };
+                    let ready = ready.max(self.nodes[node].clock());
+                    self.nodes[node].submit(tok, op, ready);
+                }
+            }
+        }
+        acks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rafiki_workload::{WorkloadGenerator, WorkloadSpec};
+
+    fn bench_spec(clients: usize) -> BenchmarkSpec {
+        BenchmarkSpec {
+            duration_secs: 2.0,
+            warmup_secs: 0.5,
+            clients,
+            sample_window_secs: 1.0,
+        }
+    }
+
+    fn workload(rr: f64) -> WorkloadGenerator {
+        let spec = WorkloadSpec {
+            initial_keys: 40_000,
+            ..WorkloadSpec::with_read_ratio(rr)
+        };
+        WorkloadGenerator::new(spec, 3)
+    }
+
+    #[test]
+    fn replicas_are_distinct_and_stable() {
+        let spec = ClusterSpec::new(4, 3);
+        for k in 0..100 {
+            let r = replicas_of(k, &spec);
+            assert_eq!(r.len(), 3);
+            let set: std::collections::HashSet<_> = r.iter().collect();
+            assert_eq!(set.len(), 3, "replicas must be distinct");
+            assert_eq!(r, replicas_of(k, &spec));
+        }
+    }
+
+    #[test]
+    fn ring_spreads_keys() {
+        let spec = ClusterSpec::new(2, 1);
+        let on_zero = (0..10_000)
+            .filter(|&k| replicas_of(k, &spec)[0] == 0)
+            .count();
+        assert!((4_000..6_000).contains(&on_zero), "skewed ring: {on_zero}");
+    }
+
+    #[test]
+    fn single_node_cluster_matches_engine_behaviour() {
+        let cfg = EngineConfig::default();
+        let mut cluster = Cluster::new(
+            &cfg,
+            ServerSpec::default(),
+            ClusterSpec::new(1, 1),
+            40_000,
+            1_000,
+        );
+        let result = cluster.run_benchmark(&mut workload(0.5), &bench_spec(32));
+        assert!(result.total_ops > 1_000);
+    }
+
+    #[test]
+    fn two_replicated_nodes_serve_more_reads() {
+        let cfg = EngineConfig::default();
+        let run = |nodes, rf, clients| {
+            let mut cluster = Cluster::new(
+                &cfg,
+                ServerSpec::default(),
+                ClusterSpec::new(nodes, rf),
+                40_000,
+                1_000,
+            );
+            cluster
+                .run_benchmark(&mut workload(1.0), &bench_spec(clients))
+                .avg_ops_per_sec
+        };
+        let one = run(1, 1, 32);
+        let two = run(2, 2, 64);
+        assert!(
+            two > one * 1.3,
+            "two nodes ({two:.0} ops/s) should outscale one ({one:.0} ops/s) for reads"
+        );
+    }
+
+    #[test]
+    fn replicated_writes_hit_every_node() {
+        let cfg = EngineConfig::default();
+        let mut cluster = Cluster::new(
+            &cfg,
+            ServerSpec::default(),
+            ClusterSpec::new(2, 2),
+            40_000,
+            1_000,
+        );
+        let mut wl = workload(0.0);
+        let result = cluster.run_benchmark(&mut wl, &bench_spec(32));
+        assert!(result.total_ops > 100);
+        // Both nodes performed (roughly) every write.
+        let w0 = cluster.node(0).metrics().writes_completed;
+        let w1 = cluster.node(1).metrics().writes_completed;
+        assert!(w0 > 0 && w1 > 0);
+        let ratio = w0 as f64 / w1 as f64;
+        assert!((0.5..2.0).contains(&ratio), "write imbalance: {w0} vs {w1}");
+    }
+
+    #[test]
+    fn quorum_reads_cost_more_than_one() {
+        // At QUORUM on a 3-node RF=3 cluster every read consults two
+        // replicas, so read throughput drops versus consistency ONE.
+        let cfg = EngineConfig::default();
+        let run = |consistency| {
+            let mut cluster = Cluster::new(
+                &cfg,
+                ServerSpec::default(),
+                ClusterSpec {
+                    nodes: 3,
+                    replication_factor: 3,
+                    consistency,
+                },
+                30_000,
+                1_000,
+            );
+            cluster
+                .run_benchmark(&mut workload(1.0), &bench_spec(48))
+                .avg_ops_per_sec
+        };
+        let one = run(Consistency::One);
+        let quorum = run(Consistency::Quorum);
+        assert!(
+            quorum < one,
+            "quorum ({quorum:.0} ops/s) should cost more than ONE ({one:.0} ops/s)"
+        );
+        assert!(quorum > one * 0.3, "quorum should not collapse: {quorum:.0}");
+    }
+
+    #[test]
+    fn acks_required_formula() {
+        assert_eq!(Consistency::One.acks_required(3), 1);
+        assert_eq!(Consistency::Quorum.acks_required(1), 1);
+        assert_eq!(Consistency::Quorum.acks_required(2), 2);
+        assert_eq!(Consistency::Quorum.acks_required(3), 2);
+        assert_eq!(Consistency::Quorum.acks_required(5), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_rf_rejected() {
+        ClusterSpec::new(2, 3)
+        .validate();
+    }
+}

@@ -1,0 +1,65 @@
+//! A Cassandra-like NoSQL storage engine on simulated time — the database
+//! substrate of the Rafiki reproduction.
+//!
+//! The paper (Mahgoub et al., Middleware '17) tunes Apache Cassandra and
+//! ScyllaDB on physical hardware. This crate substitutes a complete LSM
+//! storage engine that performs real data-structure work — commit log,
+//! memtable, bloom-filtered SSTables, block/key/row caches, size-tiered
+//! and leveled compaction — while charging every hardware cost (CPU
+//! service with contention, disk transfers, network hops) to a
+//! deterministic discrete-event clock. Throughput numbers are therefore
+//! reproducible, fast to obtain, and respond to the same 25 configuration
+//! parameters through the same mechanisms as the real systems.
+//!
+//! Layout:
+//!
+//! - [`sim`] — virtual clock and device models;
+//! - [`store`] — memtable, SSTables, bloom filters, LRU caches, commit log;
+//! - [`compaction`] — size-tiered and leveled strategies;
+//! - [`config`] — the 25-parameter catalog and the server hardware spec;
+//! - [`server`] — the single-node engine event loop;
+//! - [`mod@bench`] — the closed-loop YCSB-like benchmark driver;
+//! - [`scylla`] — the ScyllaDB-like auto-tuning variant;
+//! - [`cluster`] — token-ring replication across multiple nodes.
+//!
+//! # Example
+//!
+//! ```
+//! use rafiki_engine::{run_benchmark, Engine, EngineConfig, ServerSpec};
+//! use rafiki_workload::{BenchmarkSpec, WorkloadGenerator, WorkloadSpec};
+//!
+//! let mut engine = Engine::new(EngineConfig::default(), ServerSpec::default());
+//! engine.preload(20_000, 1_000);
+//!
+//! let wl_spec = WorkloadSpec { initial_keys: 20_000, ..WorkloadSpec::with_read_ratio(0.9) };
+//! let mut workload = WorkloadGenerator::new(wl_spec, 7);
+//! let bench = BenchmarkSpec { duration_secs: 1.0, warmup_secs: 0.2, clients: 16,
+//!                             sample_window_secs: 0.5 };
+//! let result = run_benchmark(&mut engine, &mut workload, &bench);
+//! assert!(result.avg_ops_per_sec > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bench;
+pub mod cluster;
+pub mod compaction;
+pub mod config;
+pub mod metrics;
+pub mod scylla;
+pub mod server;
+pub mod sim;
+pub mod store;
+
+pub use bench::run_benchmark;
+pub use cluster::{replicas_of, Cluster, ClusterSpec};
+pub use compaction::{CompactionJob, Strategy};
+pub use config::{
+    param_catalog, CompactionMethod, CostModel, EngineConfig, ParamDomain, ParamId, ParamInfo,
+    ServerSpec,
+};
+pub use metrics::EngineMetrics;
+pub use scylla::{scylla_effective_config, scylla_engine, scylla_ignored_params, ScyllaTuner};
+pub use server::{Engine, Flavor, OpCompletion, OpToken, REPLICA_TOKEN};
+pub use sim::{SimDuration, SimTime};

@@ -1,0 +1,60 @@
+//! Engine-internal counters, exposed for experiment analysis and tests.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters accumulated by one engine over its lifetime (reset at the end
+/// of the benchmark warm-up so measurements cover steady state only).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineMetrics {
+    /// Read operations completed.
+    pub reads_completed: u64,
+    /// Write operations completed.
+    pub writes_completed: u64,
+    /// Memtable flushes performed.
+    pub flushes: u64,
+    /// Compaction jobs completed.
+    pub compactions: u64,
+    /// Logical bytes read+written by compactions.
+    pub compacted_bytes: u64,
+    /// Bloom-filter checks performed on the read path.
+    pub bloom_checks: u64,
+    /// Bloom checks that rejected the table.
+    pub bloom_negatives: u64,
+    /// SSTable candidates actually probed (bloom-positive).
+    pub candidates_probed: u64,
+    /// Block fetches served by the file (block) cache.
+    pub file_cache_hits: u64,
+    /// Block fetches that missed the file cache.
+    pub file_cache_misses: u64,
+    /// Misses served by the OS page cache.
+    pub os_cache_hits: u64,
+    /// Misses that went all the way to disk.
+    pub disk_reads: u64,
+    /// Row-cache hits (0 unless the row cache is enabled).
+    pub row_cache_hits: u64,
+    /// Key-cache hits.
+    pub key_cache_hits: u64,
+    /// Nanoseconds writes spent stalled on memtable-space exhaustion.
+    pub write_stall_ns: u64,
+}
+
+impl EngineMetrics {
+    /// Average number of SSTables probed per read.
+    pub fn avg_candidates_per_read(&self) -> f64 {
+        if self.reads_completed == 0 {
+            0.0
+        } else {
+            self.candidates_probed as f64 / self.reads_completed as f64
+        }
+    }
+
+    /// File-cache hit rate over block fetches.
+    pub fn file_cache_hit_rate(&self) -> f64 {
+        let total = self.file_cache_hits + self.file_cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.file_cache_hits as f64 / total as f64
+        }
+    }
+}

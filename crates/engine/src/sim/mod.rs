@@ -1,0 +1,8 @@
+//! The discrete-event simulation substrate: virtual clock and hardware
+//! device models.
+
+pub mod clock;
+pub mod devices;
+
+pub use clock::{SimDuration, SimTime};
+pub use devices::{CpuModel, DiskDevice, DiskReq, WorkerPool};

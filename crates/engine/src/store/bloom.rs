@@ -1,0 +1,146 @@
+//! Bloom filters for SSTables.
+//!
+//! Cassandra consults a per-SSTable bloom filter before touching the table;
+//! the `bloom_filter_fp_chance` configuration parameter trades memory for
+//! false-positive rate. This is a real bit-vector filter with double
+//! hashing, sized by the standard formulas
+//! `m = -n ln p / (ln 2)²`, `k = (m/n) ln 2`.
+
+use rafiki_workload::Key;
+use serde::{Deserialize, Serialize};
+
+/// A bloom filter over row keys.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BloomFilter {
+    bits: Vec<u64>,
+    n_bits: u64,
+    k: u32,
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+impl BloomFilter {
+    /// Builds a filter sized for `expected_items` at the requested
+    /// false-positive probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `fp_chance` is outside `(0, 1)`.
+    pub fn with_capacity(expected_items: usize, fp_chance: f64) -> Self {
+        assert!(
+            fp_chance > 0.0 && fp_chance < 1.0,
+            "fp_chance must be in (0,1), got {fp_chance}"
+        );
+        let n = expected_items.max(1) as f64;
+        let ln2 = std::f64::consts::LN_2;
+        let m = (-n * fp_chance.ln() / (ln2 * ln2)).ceil().max(64.0) as u64;
+        let k = ((m as f64 / n) * ln2).round().clamp(1.0, 16.0) as u32;
+        BloomFilter {
+            bits: vec![0u64; m.div_ceil(64) as usize],
+            n_bits: m,
+            k,
+        }
+    }
+
+    /// Number of hash functions in use.
+    pub fn hash_count(&self) -> u32 {
+        self.k
+    }
+
+    /// Size of the bit array.
+    pub fn bit_len(&self) -> u64 {
+        self.n_bits
+    }
+
+    /// Memory footprint in bytes.
+    pub fn byte_len(&self) -> usize {
+        self.bits.len() * 8
+    }
+
+    fn positions(&self, key: Key) -> impl Iterator<Item = u64> + '_ {
+        // Kirsch–Mitzenmacher double hashing.
+        let h1 = splitmix64(key.0);
+        let h2 = splitmix64(h1 ^ 0x5851_f42d_4c95_7f2d) | 1;
+        let n_bits = self.n_bits;
+        (0..self.k as u64).map(move |i| h1.wrapping_add(i.wrapping_mul(h2)) % n_bits)
+    }
+
+    /// Inserts a key.
+    pub fn insert(&mut self, key: Key) {
+        let positions: Vec<u64> = self.positions(key).collect();
+        for p in positions {
+            self.bits[(p / 64) as usize] |= 1u64 << (p % 64);
+        }
+    }
+
+    /// Tests membership; may return false positives, never false negatives.
+    pub fn may_contain(&self, key: Key) -> bool {
+        self.positions(key)
+            .all(|p| self.bits[(p / 64) as usize] & (1u64 << (p % 64)) != 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let mut f = BloomFilter::with_capacity(1_000, 0.01);
+        for i in 0..1_000 {
+            f.insert(Key(i * 7 + 3));
+        }
+        for i in 0..1_000 {
+            assert!(f.may_contain(Key(i * 7 + 3)));
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_near_target() {
+        let n = 10_000u64;
+        let fp = 0.02;
+        let mut f = BloomFilter::with_capacity(n as usize, fp);
+        for i in 0..n {
+            f.insert(Key(i));
+        }
+        let mut false_pos = 0;
+        let probes = 50_000u64;
+        for i in 0..probes {
+            if f.may_contain(Key(1_000_000 + i)) {
+                false_pos += 1;
+            }
+        }
+        let observed = false_pos as f64 / probes as f64;
+        assert!(
+            observed < fp * 2.5,
+            "observed FP rate {observed} vs target {fp}"
+        );
+        assert!(observed > fp * 0.2, "suspiciously low FP rate {observed}");
+    }
+
+    #[test]
+    fn lower_fp_chance_uses_more_memory() {
+        let tight = BloomFilter::with_capacity(10_000, 0.001);
+        let loose = BloomFilter::with_capacity(10_000, 0.1);
+        assert!(tight.byte_len() > loose.byte_len());
+        assert!(tight.hash_count() > loose.hash_count());
+    }
+
+    #[test]
+    fn empty_filter_rejects_everything() {
+        let f = BloomFilter::with_capacity(100, 0.01);
+        let hits = (0..1_000).filter(|&i| f.may_contain(Key(i))).count();
+        assert_eq!(hits, 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_fp_chance_rejected() {
+        let _ = BloomFilter::with_capacity(10, 1.5);
+    }
+}

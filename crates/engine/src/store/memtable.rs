@@ -1,0 +1,144 @@
+//! The memtable: Cassandra's in-memory write-back cache of rows (§2.2.1).
+//!
+//! Writes are batched in the memtable until it crosses the flush threshold
+//! (`memtable_cleanup_threshold x memtable space`), at which point it is
+//! frozen and written out as an SSTable.
+
+use super::row::Row;
+use rafiki_workload::Key;
+use std::collections::BTreeMap;
+
+/// An in-memory, sorted, mutable table of the freshest row versions.
+#[derive(Debug, Clone, Default)]
+pub struct Memtable {
+    rows: BTreeMap<Key, Row>,
+    logical_bytes: u64,
+}
+
+impl Memtable {
+    /// Creates an empty memtable.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts (or replaces) a row version. Returns `true` when the key was
+    /// already present (an update superseding an in-memory version).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an older version would replace a newer one — the engine
+    /// stamps versions monotonically, so this indicates a harness bug.
+    pub fn insert(&mut self, row: Row) -> bool {
+        let bytes = row.logical_bytes();
+        let key = row.key;
+        match self.rows.insert(key, row) {
+            Some(old) => {
+                assert!(
+                    old.version <= self.rows[&key].version,
+                    "memtable version regression on {key}"
+                );
+                self.logical_bytes = self.logical_bytes - old.logical_bytes() + bytes;
+                true
+            }
+            None => {
+                self.logical_bytes += bytes;
+                false
+            }
+        }
+    }
+
+    /// Looks up the freshest in-memory version of `key`.
+    pub fn get(&self, key: Key) -> Option<&Row> {
+        self.rows.get(&key)
+    }
+
+    /// Number of distinct keys held.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the memtable holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Total logical bytes held (what the cleanup threshold is compared
+    /// against).
+    pub fn logical_bytes(&self) -> u64 {
+        self.logical_bytes
+    }
+
+    /// Iterates the in-memory rows with keys in `[lo, hi]`, in key order.
+    pub fn scan(&self, lo: Key, hi: Key) -> impl Iterator<Item = &Row> {
+        self.rows.range(lo..=hi).map(|(_, r)| r)
+    }
+
+    /// Freezes the memtable, returning its rows in key order and leaving it
+    /// empty (the engine swaps in a fresh memtable and hands the frozen
+    /// rows to a flush job).
+    pub fn freeze(&mut self) -> Vec<Row> {
+        self.logical_bytes = 0;
+        std::mem::take(&mut self.rows).into_values().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::row::PayloadArena;
+
+    fn row(key: u64, len: u32, version: u64) -> Row {
+        let arena = PayloadArena::default();
+        Row::new(Key(key), arena.payload(len, key ^ version), version)
+    }
+
+    #[test]
+    fn insert_and_get() {
+        let mut m = Memtable::new();
+        assert!(!m.insert(row(1, 100, 1)));
+        assert!(!m.insert(row(2, 50, 2)));
+        assert_eq!(m.get(Key(1)).unwrap().version, 1);
+        assert!(m.get(Key(3)).is_none());
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn update_replaces_and_adjusts_bytes() {
+        let mut m = Memtable::new();
+        m.insert(row(1, 100, 1));
+        let before = m.logical_bytes();
+        assert!(m.insert(row(1, 300, 2)));
+        assert_eq!(m.logical_bytes(), before + 200);
+        assert_eq!(m.get(Key(1)).unwrap().version, 2);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn freeze_yields_sorted_rows_and_empties() {
+        let mut m = Memtable::new();
+        for k in [5u64, 1, 9, 3] {
+            m.insert(row(k, 10, k));
+        }
+        let rows = m.freeze();
+        let keys: Vec<u64> = rows.iter().map(|r| r.key.0).collect();
+        assert_eq!(keys, vec![1, 3, 5, 9]);
+        assert!(m.is_empty());
+        assert_eq!(m.logical_bytes(), 0);
+    }
+
+    #[test]
+    fn logical_bytes_accumulate() {
+        let mut m = Memtable::new();
+        m.insert(row(1, 100, 1));
+        m.insert(row(2, 200, 2));
+        assert_eq!(m.logical_bytes(), 100 + 200 + 2 * 32);
+    }
+
+    #[test]
+    #[should_panic]
+    fn version_regression_panics() {
+        let mut m = Memtable::new();
+        m.insert(row(1, 10, 5));
+        m.insert(row(1, 10, 3));
+    }
+}

@@ -1,0 +1,511 @@
+//! Genetic-algorithm configuration search for the Rafiki reproduction.
+//!
+//! §3.7.2 of the paper: the GA's fitness is the surrogate model with the
+//! workload fixed; crossover interpolates between parents ("a
+//! random-weighted average between two points in the population", which
+//! enforces interpolation rather than extrapolation); integer and bound
+//! constraints are handled by penalizing infeasible genomes (after
+//! Deb, 2000); the search uses ~3,350 surrogate calls per workload.
+//!
+//! # Example
+//!
+//! ```
+//! use rafiki_ga::{GaConfig, GeneSpec, Optimizer, SearchSpace};
+//!
+//! // Maximize a concave function of one integer and one real gene.
+//! let space = SearchSpace::new(vec![
+//!     GeneSpec::Int { min: 0, max: 10 },
+//!     GeneSpec::Real { min: -1.0, max: 1.0 },
+//! ]);
+//! let cfg = GaConfig { population: 30, generations: 40, ..GaConfig::default() };
+//! let result = Optimizer::new(space, cfg)
+//!     .run(|g| -((g[0] - 7.0).powi(2)) - (g[1] - 0.25).powi(2));
+//! assert_eq!(result.best_genome[0], 7.0);
+//! assert!((result.best_genome[1] - 0.25).abs() < 0.1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod space;
+
+pub use space::{GeneSpec, SearchSpace};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Crossover operator variants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Crossover {
+    /// `child_i = r_i * a_i + (1 - r_i) * b_i` with `r_i ~ U(0,1)` — a
+    /// random-weighted average that interpolates within the population's
+    /// bounding box, as §3.7.2 describes.
+    Interpolate,
+    /// The formula as literally printed in the paper, which additionally
+    /// halves the average (`(r·a + (1-r)·b) / 2`). Kept for fidelity
+    /// experiments; it biases children toward the origin, so
+    /// [`Crossover::Interpolate`] is the default.
+    PaperHalving,
+}
+
+/// Hyperparameters for the genetic algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GaConfig {
+    /// Population size.
+    pub population: usize,
+    /// Number of generations.
+    pub generations: usize,
+    /// Probability that a child is produced by crossover (otherwise it is
+    /// a mutated copy of one parent).
+    pub crossover_rate: f64,
+    /// Per-gene mutation probability.
+    pub mutation_rate: f64,
+    /// Mutation step as a fraction of each gene's range.
+    pub mutation_scale: f64,
+    /// Number of elite genomes copied unchanged into the next generation.
+    pub elitism: usize,
+    /// Tournament size for parent selection.
+    pub tournament: usize,
+    /// Penalty weight applied per unit of constraint violation.
+    pub penalty: f64,
+    /// Crossover operator.
+    pub crossover: Crossover,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GaConfig {
+    fn default() -> Self {
+        GaConfig {
+            population: 50,
+            generations: 66, // ~3,350 evaluations, matching §4.8
+            crossover_rate: 0.8,
+            mutation_rate: 0.15,
+            mutation_scale: 0.2,
+            elitism: 2,
+            tournament: 3,
+            penalty: 1.0,
+            crossover: Crossover::Interpolate,
+            seed: 0,
+        }
+    }
+}
+
+/// Outcome of a GA run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaResult {
+    /// The best feasible genome found (repaired onto the constraint set).
+    pub best_genome: Vec<f64>,
+    /// Fitness of [`GaResult::best_genome`].
+    pub best_fitness: f64,
+    /// Number of fitness-function evaluations performed.
+    pub evaluations: usize,
+    /// Best fitness after each generation (monotone thanks to elitism).
+    pub history: Vec<f64>,
+}
+
+/// A genetic-algorithm optimizer over a [`SearchSpace`].
+#[derive(Debug, Clone)]
+pub struct Optimizer {
+    space: SearchSpace,
+    cfg: GaConfig,
+}
+
+impl Optimizer {
+    /// Creates an optimizer.
+    ///
+    /// # Panics
+    ///
+    /// Panics when population or generations are zero, or the tournament
+    /// size is zero or exceeds the population.
+    pub fn new(space: SearchSpace, cfg: GaConfig) -> Self {
+        assert!(cfg.population > 0, "population must be positive");
+        assert!(cfg.generations > 0, "generations must be positive");
+        assert!(
+            cfg.tournament > 0 && cfg.tournament <= cfg.population,
+            "tournament size must be in 1..=population"
+        );
+        assert!(cfg.elitism < cfg.population, "elitism must be below population");
+        Optimizer { space, cfg }
+    }
+
+    /// The search space.
+    pub fn space(&self) -> &SearchSpace {
+        &self.space
+    }
+
+    /// Runs the GA, maximizing `fitness`. The fitness function is always
+    /// called on raw (possibly infeasible) genomes; penalties are applied
+    /// on top of its return value, mirroring the paper's scheme where
+    /// infeasible configuration files score a penalized fitness.
+    pub fn run<F: FnMut(&[f64]) -> f64>(&self, mut fitness: F) -> GaResult {
+        let cfg = &self.cfg;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut evaluations = 0usize;
+
+        let score = |genome: &[f64], evals: &mut usize, f: &mut F| -> f64 {
+            *evals += 1;
+            let raw = f(genome);
+            let viol = self.space.violation(genome);
+            if viol > 0.0 {
+                raw - cfg.penalty * (1.0 + viol) * raw.abs().max(1.0)
+            } else {
+                raw
+            }
+        };
+
+        // Initial population: uniformly random feasible genomes.
+        let mut population: Vec<Vec<f64>> =
+            (0..cfg.population).map(|_| self.space.sample(&mut rng)).collect();
+        let mut scores: Vec<f64> = population
+            .iter()
+            .map(|g| score(g, &mut evaluations, &mut fitness))
+            .collect();
+
+        let mut history = Vec::with_capacity(cfg.generations);
+        for _gen in 0..cfg.generations {
+            // Rank current population (descending score).
+            let mut order: Vec<usize> = (0..population.len()).collect();
+            order.sort_by(|&a, &b| {
+                scores[b].partial_cmp(&scores[a]).expect("NaN fitness")
+            });
+            history.push(scores[order[0]]);
+
+            let mut next: Vec<Vec<f64>> = Vec::with_capacity(cfg.population);
+            // Elites survive unchanged.
+            for &i in order.iter().take(cfg.elitism) {
+                next.push(population[i].clone());
+            }
+            while next.len() < cfg.population {
+                let a = self.tournament_select(&scores, &mut rng);
+                let child = if rng.gen_bool(cfg.crossover_rate) {
+                    let b = self.tournament_select(&scores, &mut rng);
+                    self.crossover(&population[a], &population[b], &mut rng)
+                } else {
+                    population[a].clone()
+                };
+                next.push(self.mutate(child, &mut rng));
+            }
+            population = next;
+            scores = population
+                .iter()
+                .map(|g| score(g, &mut evaluations, &mut fitness))
+                .collect();
+        }
+
+        // Extract the best, repaired onto the feasible set and re-scored.
+        let (best_idx, _) = scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("NaN fitness"))
+            .expect("non-empty population");
+        let best_genome = self.space.repair(&population[best_idx]);
+        evaluations += 1;
+        let best_fitness = fitness(&best_genome);
+        history.push(best_fitness);
+        GaResult {
+            best_genome,
+            best_fitness,
+            evaluations,
+            history,
+        }
+    }
+
+    fn tournament_select(&self, scores: &[f64], rng: &mut StdRng) -> usize {
+        let mut best = rng.gen_range(0..scores.len());
+        for _ in 1..self.cfg.tournament {
+            let c = rng.gen_range(0..scores.len());
+            if scores[c] > scores[best] {
+                best = c;
+            }
+        }
+        best
+    }
+
+    fn crossover(&self, a: &[f64], b: &[f64], rng: &mut StdRng) -> Vec<f64> {
+        a.iter()
+            .zip(b)
+            .map(|(&x, &y)| {
+                let r: f64 = rng.gen_range(0.0..1.0);
+                let v = r * x + (1.0 - r) * y;
+                match self.cfg.crossover {
+                    Crossover::Interpolate => v,
+                    Crossover::PaperHalving => v / 2.0,
+                }
+            })
+            .collect()
+    }
+
+    fn mutate(&self, mut genome: Vec<f64>, rng: &mut StdRng) -> Vec<f64> {
+        for (g, spec) in genome.iter_mut().zip(self.space.genes()) {
+            if rng.gen_bool(self.cfg.mutation_rate) {
+                match *spec {
+                    GeneSpec::Categorical { .. } => {
+                        // Resample categorical genes: a Gaussian nudge makes
+                        // no sense for unordered options.
+                        *g = spec.sample(rng);
+                    }
+                    _ => {
+                        let range = (spec.hi() - spec.lo()).max(1e-12);
+                        let step = self.cfg.mutation_scale * range;
+                        // Triangular noise around 0 (sum of two uniforms).
+                        let noise: f64 =
+                            rng.gen_range(-0.5..0.5) + rng.gen_range(-0.5..0.5);
+                        *g = (*g + noise * step).clamp(spec.lo(), spec.hi());
+                    }
+                }
+            }
+        }
+        genome
+    }
+}
+
+/// Exhaustively evaluates a grid with `real_steps` levels per continuous
+/// gene, returning the best genome, its fitness, and the number of
+/// evaluations. This is the "theoretically best achievable" baseline of
+/// §4.8 — check [`SearchSpace::grid_size`] first, it grows combinatorially.
+pub fn grid_search<F: FnMut(&[f64]) -> f64>(
+    space: &SearchSpace,
+    real_steps: usize,
+    mut fitness: F,
+) -> GaResult {
+    let grid = space.enumerate_grid(real_steps);
+    let mut best_genome = grid[0].clone();
+    let mut best_fitness = f64::NEG_INFINITY;
+    let evaluations = grid.len();
+    for genome in grid {
+        let f = fitness(&genome);
+        if f > best_fitness {
+            best_fitness = f;
+            best_genome = genome;
+        }
+    }
+    GaResult {
+        best_genome,
+        best_fitness,
+        evaluations,
+        history: vec![best_fitness],
+    }
+}
+
+/// Uniform random search with a fixed evaluation budget — the
+/// equal-budget baseline used in the ablation benches.
+pub fn random_search<F: FnMut(&[f64]) -> f64>(
+    space: &SearchSpace,
+    budget: usize,
+    seed: u64,
+    mut fitness: F,
+) -> GaResult {
+    assert!(budget > 0, "random search needs a positive budget");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut best_genome = space.sample(&mut rng);
+    let mut best_fitness = fitness(&best_genome);
+    let mut history = vec![best_fitness];
+    for _ in 1..budget {
+        let g = space.sample(&mut rng);
+        let f = fitness(&g);
+        if f > best_fitness {
+            best_fitness = f;
+            best_genome = g;
+        }
+        history.push(best_fitness);
+    }
+    GaResult {
+        best_genome,
+        best_fitness,
+        evaluations: budget,
+        history,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_space(dims: usize) -> SearchSpace {
+        SearchSpace::new(
+            (0..dims)
+                .map(|_| GeneSpec::Real {
+                    min: -5.0,
+                    max: 5.0,
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn maximizes_a_sphere() {
+        let space = unit_space(3);
+        let cfg = GaConfig {
+            population: 40,
+            generations: 60,
+            ..GaConfig::default()
+        };
+        let r = Optimizer::new(space, cfg).run(|g| {
+            -g.iter().map(|x| (x - 1.5) * (x - 1.5)).sum::<f64>()
+        });
+        for &v in &r.best_genome {
+            assert!((v - 1.5).abs() < 0.2, "{:?}", r.best_genome);
+        }
+    }
+
+    #[test]
+    fn escapes_local_maxima_of_multimodal_function() {
+        // Rastrigin-like landscape flipped for maximization; global max at 0.
+        let space = unit_space(2);
+        let cfg = GaConfig {
+            population: 60,
+            generations: 80,
+            mutation_rate: 0.3,
+            seed: 3,
+            ..GaConfig::default()
+        };
+        let r = Optimizer::new(space, cfg).run(|g| {
+            -g.iter()
+                .map(|&x| x * x - 10.0 * (2.0 * std::f64::consts::PI * x).cos() + 10.0)
+                .sum::<f64>()
+        });
+        assert!(r.best_fitness > -2.0, "fitness {}", r.best_fitness);
+    }
+
+    #[test]
+    fn respects_integer_constraints() {
+        let space = SearchSpace::new(vec![
+            GeneSpec::Int { min: 0, max: 100 },
+            GeneSpec::Real { min: 0.0, max: 1.0 },
+        ]);
+        let r = Optimizer::new(space.clone(), GaConfig::default())
+            .run(|g| -(g[0] - 42.3).abs() - (g[1] - 0.5).abs());
+        assert!(space.is_feasible(&r.best_genome));
+        // The best integer for |x - 42.3| is 42.
+        assert_eq!(r.best_genome[0], 42.0);
+    }
+
+    #[test]
+    fn categorical_gene_is_searched() {
+        let space = SearchSpace::new(vec![GeneSpec::Categorical { options: 5 }]);
+        let r = Optimizer::new(
+            space,
+            GaConfig {
+                population: 20,
+                generations: 10,
+                ..GaConfig::default()
+            },
+        )
+        .run(|g| if g[0].round() as usize == 3 { 10.0 } else { 0.0 });
+        assert_eq!(r.best_genome[0], 3.0);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let space = unit_space(4);
+        let cfg = GaConfig {
+            seed: 77,
+            generations: 20,
+            ..GaConfig::default()
+        };
+        let f = |g: &[f64]| -g.iter().map(|x| x * x).sum::<f64>();
+        let r1 = Optimizer::new(space.clone(), cfg).run(f);
+        let r2 = Optimizer::new(space, cfg).run(f);
+        assert_eq!(r1.best_genome, r2.best_genome);
+        assert_eq!(r1.evaluations, r2.evaluations);
+    }
+
+    #[test]
+    fn evaluation_count_is_reported() {
+        let space = unit_space(2);
+        let cfg = GaConfig {
+            population: 10,
+            generations: 5,
+            ..GaConfig::default()
+        };
+        let mut calls = 0usize;
+        let r = Optimizer::new(space, cfg).run(|_| {
+            calls += 1;
+            0.0
+        });
+        assert_eq!(r.evaluations, calls);
+        // init pop + 5 generations of re-scores + final repair score
+        assert_eq!(calls, 10 + 5 * 10 + 1);
+    }
+
+    #[test]
+    fn default_budget_matches_paper_scale() {
+        // §4.8: ~3,350 surrogate evaluations on average per workload.
+        let cfg = GaConfig::default();
+        let evals = cfg.population * (cfg.generations + 1) + 1;
+        assert!((3_000..3_700).contains(&evals), "evals = {evals}");
+    }
+
+    #[test]
+    fn history_is_monotone_with_elitism() {
+        let space = unit_space(3);
+        let r = Optimizer::new(
+            space,
+            GaConfig {
+                generations: 30,
+                ..GaConfig::default()
+            },
+        )
+        .run(|g| -g.iter().map(|x| x.abs()).sum::<f64>());
+        for w in r.history.windows(2) {
+            assert!(w[1] >= w[0] - 1e-9, "history regressed: {w:?}");
+        }
+    }
+
+    #[test]
+    fn grid_search_finds_exact_discrete_optimum() {
+        let space = SearchSpace::new(vec![
+            GeneSpec::Int { min: 0, max: 9 },
+            GeneSpec::Categorical { options: 3 },
+        ]);
+        let r = grid_search(&space, 2, |g| g[0] * 10.0 + g[1]);
+        assert_eq!(r.best_genome, vec![9.0, 2.0]);
+        assert_eq!(r.evaluations, 30);
+    }
+
+    #[test]
+    fn random_search_improves_with_budget() {
+        let space = unit_space(3);
+        let f = |g: &[f64]| -g.iter().map(|x| x * x).sum::<f64>();
+        let small = random_search(&space, 10, 5, f);
+        let large = random_search(&space, 1_000, 5, f);
+        assert!(large.best_fitness >= small.best_fitness);
+    }
+
+    #[test]
+    fn ga_beats_random_search_at_equal_budget() {
+        // On a smooth landscape the GA should out-optimize random sampling
+        // given the same evaluation budget.
+        let space = unit_space(5);
+        let f = |g: &[f64]| -g.iter().map(|x| (x - 2.0) * (x - 2.0)).sum::<f64>();
+        let cfg = GaConfig {
+            population: 30,
+            generations: 30,
+            seed: 9,
+            ..GaConfig::default()
+        };
+        let ga = Optimizer::new(space.clone(), cfg).run(f);
+        let rnd = random_search(&space, ga.evaluations, 9, f);
+        assert!(
+            ga.best_fitness > rnd.best_fitness,
+            "ga {} vs random {}",
+            ga.best_fitness,
+            rnd.best_fitness
+        );
+    }
+
+    #[test]
+    fn paper_halving_crossover_still_converges_with_mutation() {
+        let space = SearchSpace::new(vec![GeneSpec::Real { min: 0.0, max: 4.0 }]);
+        let cfg = GaConfig {
+            crossover: Crossover::PaperHalving,
+            population: 40,
+            generations: 60,
+            ..GaConfig::default()
+        };
+        let r = Optimizer::new(space, cfg).run(|g| -(g[0] - 3.0).abs());
+        assert!((r.best_genome[0] - 3.0).abs() < 0.3, "{:?}", r.best_genome);
+    }
+}

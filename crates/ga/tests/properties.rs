@@ -1,0 +1,99 @@
+//! Property-based tests for the genetic algorithm.
+
+use proptest::prelude::*;
+use rafiki_ga::{grid_search, random_search, GaConfig, GeneSpec, Optimizer, SearchSpace};
+
+fn arb_space() -> impl Strategy<Value = SearchSpace> {
+    prop::collection::vec(
+        prop_oneof![
+            (1usize..6).prop_map(|options| GeneSpec::Categorical { options }),
+            (-50i64..0, 1i64..50).prop_map(|(min, max)| GeneSpec::Int { min, max }),
+            (-10.0f64..0.0, 0.1f64..10.0).prop_map(|(min, span)| GeneSpec::Real {
+                min,
+                max: min + span,
+            }),
+        ],
+        1..5,
+    )
+    .prop_map(SearchSpace::new)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn repair_is_idempotent_and_feasible(space in arb_space(), seed in 0u64..1_000) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        // Perturb a feasible genome far out of range.
+        let mut genome = space.sample(&mut rng);
+        for (g, _) in genome.iter_mut().zip(space.genes()) {
+            *g = *g * 17.5 + 100.0;
+        }
+        let repaired = space.repair(&genome);
+        prop_assert!(space.is_feasible(&repaired), "{repaired:?}");
+        prop_assert_eq!(space.repair(&repaired), repaired.clone());
+        prop_assert_eq!(space.violation(&repaired), 0.0);
+    }
+
+    #[test]
+    fn sampled_genomes_have_zero_violation(space in arb_space(), seed in 0u64..1_000) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for _ in 0..20 {
+            let g = space.sample(&mut rng);
+            prop_assert_eq!(space.violation(&g), 0.0);
+        }
+    }
+
+    #[test]
+    fn ga_result_is_always_feasible(space in arb_space(), seed in 0u64..200) {
+        let cfg = GaConfig {
+            population: 12,
+            generations: 6,
+            seed,
+            ..GaConfig::default()
+        };
+        let result = Optimizer::new(space.clone(), cfg)
+            .run(|g| -g.iter().map(|x| x * x).sum::<f64>());
+        prop_assert!(space.is_feasible(&result.best_genome), "{:?}", result.best_genome);
+        prop_assert!(result.evaluations > 0);
+    }
+
+    #[test]
+    fn ga_never_loses_to_its_own_population_history(seed in 0u64..100) {
+        let space = SearchSpace::new(vec![
+            GeneSpec::Real { min: -3.0, max: 3.0 },
+            GeneSpec::Int { min: 0, max: 20 },
+        ]);
+        let cfg = GaConfig { population: 20, generations: 15, seed, ..GaConfig::default() };
+        let result = Optimizer::new(space, cfg).run(|g| -(g[0] - 1.0).abs() - (g[1] - 7.0).abs());
+        // Elitism: history is non-decreasing.
+        for w in result.history.windows(2) {
+            prop_assert!(w[1] >= w[0] - 1e-9);
+        }
+        prop_assert!(result.best_fitness >= *result.history.first().unwrap() - 1e-9);
+    }
+
+    #[test]
+    fn grid_search_dominates_any_grid_member(steps in 2usize..5) {
+        let space = SearchSpace::new(vec![
+            GeneSpec::Real { min: 0.0, max: 1.0 },
+            GeneSpec::Categorical { options: 3 },
+        ]);
+        let f = |g: &[f64]| (g[0] - 0.4).sin() + g[1];
+        let best = grid_search(&space, steps, f);
+        for genome in space.enumerate_grid(steps) {
+            prop_assert!(best.best_fitness >= f(&genome) - 1e-12);
+        }
+    }
+
+    #[test]
+    fn random_search_best_is_max_of_history(budget in 1usize..200, seed in 0u64..50) {
+        let space = SearchSpace::new(vec![GeneSpec::Real { min: -5.0, max: 5.0 }]);
+        let r = random_search(&space, budget, seed, |g| -g[0].abs());
+        prop_assert_eq!(r.history.len(), budget);
+        let max = r.history.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(r.best_fitness, max);
+    }
+}

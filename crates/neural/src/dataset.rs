@@ -1,0 +1,215 @@
+//! Regression datasets: feature matrix + scalar targets, with the split
+//! utilities the paper's validation protocol needs (hold out whole groups
+//! along the configuration or workload dimension, §4.3).
+
+use crate::linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A regression dataset: one row per sample plus a scalar target each.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    features: Matrix,
+    targets: Vec<f64>,
+}
+
+impl Dataset {
+    /// Builds a dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `features.rows() != targets.len()`.
+    pub fn new(features: Matrix, targets: Vec<f64>) -> Self {
+        assert_eq!(
+            features.rows(),
+            targets.len(),
+            "feature/target row count mismatch"
+        );
+        Dataset { features, targets }
+    }
+
+    /// Builds a dataset from per-sample feature vectors.
+    pub fn from_rows(rows: &[Vec<f64>], targets: Vec<f64>) -> Self {
+        Self::new(Matrix::from_rows(rows), targets)
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Whether the dataset has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.targets.is_empty()
+    }
+
+    /// Number of feature columns.
+    pub fn dims(&self) -> usize {
+        self.features.cols()
+    }
+
+    /// Feature matrix.
+    pub fn features(&self) -> &Matrix {
+        &self.features
+    }
+
+    /// Targets.
+    pub fn targets(&self) -> &[f64] {
+        &self.targets
+    }
+
+    /// One sample's features.
+    pub fn row(&self, i: usize) -> &[f64] {
+        self.features.row(i)
+    }
+
+    /// Selects a subset by sample indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an index is out of bounds.
+    pub fn subset(&self, idx: &[usize]) -> Dataset {
+        let rows: Vec<Vec<f64>> = idx.iter().map(|&i| self.row(i).to_vec()).collect();
+        let targets: Vec<f64> = idx.iter().map(|&i| self.targets[i]).collect();
+        Dataset::from_rows(&rows, targets)
+    }
+
+    /// Random train/test split with `test_fraction` of samples held out.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < test_fraction < 1`.
+    pub fn split_random(&self, test_fraction: f64, seed: u64) -> (Dataset, Dataset) {
+        assert!(
+            test_fraction > 0.0 && test_fraction < 1.0,
+            "test_fraction must be in (0,1)"
+        );
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        idx.shuffle(&mut StdRng::seed_from_u64(seed));
+        let n_test = ((self.len() as f64 * test_fraction).round() as usize)
+            .clamp(1, self.len().saturating_sub(1));
+        let (test_idx, train_idx) = idx.split_at(n_test);
+        (self.subset(train_idx), self.subset(test_idx))
+    }
+
+    /// Group-wise split: every sample is assigned a group key by `key_of`
+    /// and `test_fraction` of *groups* are held out entirely. This is the
+    /// paper's "unseen configurations" / "unseen workloads" protocol: no
+    /// sample of a held-out configuration appears in the training set.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < test_fraction < 1` or when there are fewer than
+    /// two groups.
+    pub fn split_by_group<K, F>(&self, test_fraction: f64, seed: u64, key_of: F) -> (Dataset, Dataset)
+    where
+        K: Eq + std::hash::Hash + Clone,
+        F: Fn(usize, &[f64]) -> K,
+    {
+        assert!(
+            test_fraction > 0.0 && test_fraction < 1.0,
+            "test_fraction must be in (0,1)"
+        );
+        let mut groups: Vec<K> = Vec::new();
+        let mut group_of: Vec<usize> = Vec::with_capacity(self.len());
+        let mut index: std::collections::HashMap<K, usize> = std::collections::HashMap::new();
+        for i in 0..self.len() {
+            let k = key_of(i, self.row(i));
+            let gi = *index.entry(k.clone()).or_insert_with(|| {
+                groups.push(k.clone());
+                groups.len() - 1
+            });
+            group_of.push(gi);
+        }
+        assert!(groups.len() >= 2, "group split needs at least two groups");
+        let mut order: Vec<usize> = (0..groups.len()).collect();
+        order.shuffle(&mut StdRng::seed_from_u64(seed));
+        let n_test_groups = ((groups.len() as f64 * test_fraction).round() as usize)
+            .clamp(1, groups.len() - 1);
+        let test_groups: std::collections::HashSet<usize> =
+            order[..n_test_groups].iter().copied().collect();
+        let mut train_idx = Vec::new();
+        let mut test_idx = Vec::new();
+        for (i, &g) in group_of.iter().enumerate() {
+            if test_groups.contains(&g) {
+                test_idx.push(i);
+            } else {
+                train_idx.push(i);
+            }
+        }
+        (self.subset(&train_idx), self.subset(&test_idx))
+    }
+
+    /// Takes the first `n` samples after a seeded shuffle — used for the
+    /// learning-curve experiment (Figure 7: error vs number of training
+    /// samples).
+    pub fn sample_n(&self, n: usize, seed: u64) -> Dataset {
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        idx.shuffle(&mut StdRng::seed_from_u64(seed));
+        idx.truncate(n.min(self.len()));
+        self.subset(&idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy(n: usize) -> Dataset {
+        let rows: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64, (i * 2) as f64]).collect();
+        let targets: Vec<f64> = (0..n).map(|i| i as f64 * 10.0).collect();
+        Dataset::from_rows(&rows, targets)
+    }
+
+    #[test]
+    fn subset_selects_rows() {
+        let d = toy(5);
+        let s = d.subset(&[0, 3]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.row(1), &[3.0, 6.0]);
+        assert_eq!(s.targets(), &[0.0, 30.0]);
+    }
+
+    #[test]
+    fn random_split_partitions() {
+        let d = toy(20);
+        let (train, test) = d.split_random(0.25, 7);
+        assert_eq!(train.len() + test.len(), 20);
+        assert_eq!(test.len(), 5);
+        // Deterministic for a given seed.
+        let (train2, _) = d.split_random(0.25, 7);
+        assert_eq!(train, train2);
+    }
+
+    #[test]
+    fn group_split_keeps_groups_whole() {
+        // Group = first feature mod 4: 5 samples per group.
+        let d = toy(20);
+        let (train, test) = d.split_by_group(0.25, 3, |_, row| (row[0] as i64) % 4);
+        assert_eq!(train.len() + test.len(), 20);
+        // Exactly one of four groups held out -> 5 test samples.
+        assert_eq!(test.len(), 5);
+        // No group key appears in both sides.
+        let test_keys: std::collections::HashSet<i64> =
+            (0..test.len()).map(|i| (test.row(i)[0] as i64) % 4).collect();
+        for i in 0..train.len() {
+            assert!(!test_keys.contains(&((train.row(i)[0] as i64) % 4)));
+        }
+    }
+
+    #[test]
+    fn sample_n_truncates() {
+        let d = toy(10);
+        assert_eq!(d.sample_n(4, 1).len(), 4);
+        assert_eq!(d.sample_n(99, 1).len(), 10);
+        // Seeded: deterministic.
+        assert_eq!(d.sample_n(4, 1), d.sample_n(4, 1));
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_lengths_panic() {
+        let _ = Dataset::from_rows(&[vec![1.0]], vec![1.0, 2.0]);
+    }
+}

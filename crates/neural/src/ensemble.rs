@@ -1,0 +1,299 @@
+//! The ensemble surrogate model: several identically shaped networks
+//! trained from different initial weights, pruned, and averaged.
+//!
+//! §3.6.2 of the paper: *"to improve generalizability, we initialize the
+//! same neural network using different edge weights and utilize the average
+//! across multiple (20) networks. Further, we utilize simple ensemble
+//! pruning by removing the top 30% of the networks that produce the highest
+//! reported training error. The final performance value would be an average
+//! of 14 networks in this case."*
+
+use crate::dataset::Dataset;
+use crate::network::Network;
+use crate::scaler::MinMaxScaler;
+use crate::train::{train_levenberg_marquardt, TrainConfig, TrainReport};
+use crate::linalg::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Configuration for fitting a [`SurrogateModel`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SurrogateConfig {
+    /// Hidden layer sizes; the paper uses `[14, 4]`.
+    pub hidden: Vec<usize>,
+    /// Number of networks trained; the paper uses 20 (100 for the final
+    /// GA experiments).
+    pub ensemble_size: usize,
+    /// Fraction of networks discarded (those with the highest training
+    /// error); the paper prunes 30%.
+    pub prune_fraction: f64,
+    /// Optimizer settings.
+    pub train: TrainConfig,
+    /// Base RNG seed; network `i` is initialized from `seed + i`.
+    pub seed: u64,
+}
+
+impl Default for SurrogateConfig {
+    fn default() -> Self {
+        SurrogateConfig {
+            hidden: vec![14, 4],
+            ensemble_size: 20,
+            prune_fraction: 0.30,
+            train: TrainConfig::default(),
+            seed: 0,
+        }
+    }
+}
+
+impl SurrogateConfig {
+    /// A single-network configuration (the "1 Net" columns of Table 2).
+    pub fn single_net(seed: u64) -> Self {
+        SurrogateConfig {
+            ensemble_size: 1,
+            prune_fraction: 0.0,
+            seed,
+            ..SurrogateConfig::default()
+        }
+    }
+}
+
+/// Regression quality metrics in the units the paper reports (Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RegressionMetrics {
+    /// Mean absolute percentage error, in percent.
+    pub mape: f64,
+    /// Root mean squared error, in target units (ops/s).
+    pub rmse: f64,
+    /// Coefficient of determination.
+    pub r_squared: f64,
+}
+
+/// An ensemble of trained networks plus the input/target scalers — the
+/// trained surrogate `fnet` of Equation (2).
+#[derive(Debug, Clone)]
+pub struct SurrogateModel {
+    nets: Vec<Network>,
+    x_scaler: MinMaxScaler,
+    y_scaler: MinMaxScaler,
+    reports: Vec<TrainReport>,
+    pruned: usize,
+}
+
+impl SurrogateModel {
+    /// Fits the surrogate on a dataset (unscaled feature/target units).
+    /// Networks are trained in parallel (one OS thread per network, bounded
+    /// by available parallelism); results are deterministic for a given
+    /// `cfg.seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `dataset` is empty or `cfg.ensemble_size == 0`.
+    pub fn fit(dataset: &Dataset, cfg: &SurrogateConfig) -> Self {
+        assert!(!dataset.is_empty(), "cannot fit surrogate on empty dataset");
+        assert!(cfg.ensemble_size > 0, "ensemble_size must be positive");
+        let x_scaler = MinMaxScaler::fit(dataset.features());
+        let y_matrix = Matrix::from_vec(
+            dataset.len(),
+            1,
+            dataset.targets().to_vec(),
+        );
+        let y_scaler = MinMaxScaler::fit(&y_matrix);
+        let x = x_scaler.transform(dataset.features());
+        let y: Vec<f64> = dataset
+            .targets()
+            .iter()
+            .map(|&t| y_scaler.transform_scalar(t))
+            .collect();
+
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        let mut trained: Vec<(Network, TrainReport)> = Vec::with_capacity(cfg.ensemble_size);
+        let mut next = 0usize;
+        while next < cfg.ensemble_size {
+            let batch_end = (next + workers).min(cfg.ensemble_size);
+            let handles: Vec<_> = (next..batch_end)
+                .map(|i| {
+                    let x = x.clone();
+                    let y = y.clone();
+                    let hidden = cfg.hidden.clone();
+                    let train_cfg = cfg.train;
+                    let seed = cfg.seed.wrapping_add(i as u64);
+                    std::thread::spawn(move || {
+                        let mut net = Network::new(x.cols(), &hidden, seed);
+                        let report = train_levenberg_marquardt(&mut net, &x, &y, &train_cfg);
+                        (net, report)
+                    })
+                })
+                .collect();
+            for h in handles {
+                trained.push(h.join().expect("surrogate training thread panicked"));
+            }
+            next = batch_end;
+        }
+
+        // Prune the worst `prune_fraction` by training SSE.
+        let keep = cfg.ensemble_size
+            - ((cfg.ensemble_size as f64 * cfg.prune_fraction).floor() as usize)
+                .min(cfg.ensemble_size - 1);
+        trained.sort_by(|a, b| {
+            a.1.sse
+                .partial_cmp(&b.1.sse)
+                .expect("NaN training error")
+        });
+        let pruned = trained.len() - keep;
+        trained.truncate(keep);
+        let (nets, reports): (Vec<_>, Vec<_>) = trained.into_iter().unzip();
+        SurrogateModel {
+            nets,
+            x_scaler,
+            y_scaler,
+            reports,
+            pruned,
+        }
+    }
+
+    /// Number of networks kept after pruning.
+    pub fn ensemble_size(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// Number of networks discarded by pruning.
+    pub fn pruned_count(&self) -> usize {
+        self.pruned
+    }
+
+    /// Training reports of the surviving networks (sorted by training error).
+    pub fn reports(&self) -> &[TrainReport] {
+        &self.reports
+    }
+
+    /// Predicts the target for one unscaled feature row. This is the 45 µs
+    /// "surrogate call" of §4.8.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the row dimension does not match the training data.
+    pub fn predict(&self, row: &[f64]) -> f64 {
+        assert_eq!(row.len(), self.x_scaler.dims(), "feature dimension mismatch");
+        let mut scaled = row.to_vec();
+        self.x_scaler.transform_row(&mut scaled);
+        let sum: f64 = self.nets.iter().map(|n| n.forward(&scaled)).sum();
+        self.y_scaler.inverse_scalar(sum / self.nets.len() as f64)
+    }
+
+    /// Predicts every row of a dataset.
+    pub fn predict_dataset(&self, data: &Dataset) -> Vec<f64> {
+        (0..data.len()).map(|i| self.predict(data.row(i))).collect()
+    }
+
+    /// Evaluates prediction quality on a held-out dataset.
+    pub fn evaluate(&self, test: &Dataset) -> RegressionMetrics {
+        let predicted = self.predict_dataset(test);
+        RegressionMetrics {
+            mape: rafiki_stats::descriptive::mape(&predicted, test.targets()),
+            rmse: rafiki_stats::descriptive::rmse(&predicted, test.targets()),
+            r_squared: rafiki_stats::descriptive::r_squared(&predicted, test.targets()),
+        }
+    }
+
+    /// Per-sample percentage errors `(pred − actual)/actual · 100`, the
+    /// quantity whose distribution Figures 8 and 9 plot.
+    pub fn percent_errors(&self, test: &Dataset) -> Vec<f64> {
+        self.predict_dataset(test)
+            .iter()
+            .zip(test.targets())
+            .filter(|&(_, &a)| a != 0.0)
+            .map(|(&p, &a)| (p - a) / a * 100.0)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smooth_dataset(n_per_axis: usize) -> Dataset {
+        let mut rows = Vec::new();
+        let mut targets = Vec::new();
+        for i in 0..n_per_axis {
+            for j in 0..n_per_axis {
+                let a = i as f64 / (n_per_axis - 1) as f64;
+                let b = j as f64 / (n_per_axis - 1) as f64;
+                rows.push(vec![a * 100.0, b * 8.0]);
+                // Non-linear response surface in "throughput" units.
+                targets.push(50_000.0 + 30_000.0 * (2.0 * a - 1.0).tanh() * b
+                    + 10_000.0 * (a * std::f64::consts::PI).sin());
+            }
+        }
+        Dataset::from_rows(&rows, targets)
+    }
+
+    fn quick_cfg(size: usize) -> SurrogateConfig {
+        SurrogateConfig {
+            hidden: vec![8],
+            ensemble_size: size,
+            prune_fraction: 0.30,
+            train: TrainConfig {
+                max_epochs: 60,
+                ..TrainConfig::default()
+            },
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn ensemble_prunes_thirty_percent() {
+        let data = smooth_dataset(6);
+        let model = SurrogateModel::fit(&data, &quick_cfg(10));
+        assert_eq!(model.ensemble_size(), 7);
+        assert_eq!(model.pruned_count(), 3);
+    }
+
+    #[test]
+    fn single_net_keeps_one() {
+        let data = smooth_dataset(5);
+        let model = SurrogateModel::fit(&data, &SurrogateConfig {
+            hidden: vec![6],
+            train: TrainConfig { max_epochs: 40, ..TrainConfig::default() },
+            ..SurrogateConfig::single_net(1)
+        });
+        assert_eq!(model.ensemble_size(), 1);
+        assert_eq!(model.pruned_count(), 0);
+    }
+
+    #[test]
+    fn surrogate_interpolates_accurately() {
+        let data = smooth_dataset(7);
+        let model = SurrogateModel::fit(&data, &quick_cfg(6));
+        let metrics = model.evaluate(&data);
+        assert!(metrics.mape < 5.0, "training MAPE {}", metrics.mape);
+        assert!(metrics.r_squared > 0.9, "R2 {}", metrics.r_squared);
+    }
+
+    #[test]
+    fn surrogate_generalizes_to_holdout() {
+        let data = smooth_dataset(9);
+        let (train, test) = data.split_random(0.25, 3);
+        let model = SurrogateModel::fit(&train, &quick_cfg(8));
+        let metrics = model.evaluate(&test);
+        assert!(metrics.mape < 8.0, "holdout MAPE {}", metrics.mape);
+    }
+
+    #[test]
+    fn fit_is_deterministic() {
+        let data = smooth_dataset(5);
+        let m1 = SurrogateModel::fit(&data, &quick_cfg(4));
+        let m2 = SurrogateModel::fit(&data, &quick_cfg(4));
+        let probe = vec![37.0, 5.0];
+        assert_eq!(m1.predict(&probe), m2.predict(&probe));
+    }
+
+    #[test]
+    fn percent_errors_have_expected_scale() {
+        let data = smooth_dataset(6);
+        let model = SurrogateModel::fit(&data, &quick_cfg(6));
+        let errs = model.percent_errors(&data);
+        assert_eq!(errs.len(), data.len());
+        assert!(errs.iter().all(|e| e.abs() < 50.0));
+    }
+}

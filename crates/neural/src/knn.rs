@@ -1,0 +1,160 @@
+//! k-nearest-neighbour regression — the interpolation-style predictor the
+//! paper contrasts Rafiki against (§5: *"iTuned and OtterTune … rely on
+//! nearest-neighbor interpolation for optimizing configurations for unseen
+//! workloads. Rafiki's surrogate model provides algorithm-independent
+//! predictive capabilities in contrast to interpolation"*). Implemented
+//! here so the surrogate ablation can quantify that comparison.
+
+use crate::dataset::Dataset;
+use crate::linalg::Matrix;
+use crate::scaler::MinMaxScaler;
+
+/// Inverse-distance-weighted k-NN regressor over min–max-scaled features.
+#[derive(Debug, Clone)]
+pub struct KnnRegressor {
+    k: usize,
+    scaler: MinMaxScaler,
+    rows: Matrix,
+    targets: Vec<f64>,
+}
+
+impl KnnRegressor {
+    /// Fits (memorizes) the training set.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `k == 0` or the dataset is empty.
+    pub fn fit(data: &Dataset, k: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        assert!(!data.is_empty(), "cannot fit k-NN on empty dataset");
+        let scaler = MinMaxScaler::fit(data.features());
+        KnnRegressor {
+            k: k.min(data.len()),
+            rows: scaler.transform(data.features()),
+            targets: data.targets().to_vec(),
+            scaler,
+        }
+    }
+
+    /// Number of neighbours consulted.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Predicts by inverse-distance-weighted average of the k nearest
+    /// training samples (an exact feature match returns its target).
+    ///
+    /// # Panics
+    ///
+    /// Panics on feature-dimension mismatch.
+    pub fn predict(&self, row: &[f64]) -> f64 {
+        assert_eq!(row.len(), self.scaler.dims(), "feature dimension mismatch");
+        let mut probe = row.to_vec();
+        self.scaler.transform_row(&mut probe);
+        let mut dists: Vec<(f64, f64)> = (0..self.rows.rows())
+            .map(|i| {
+                let d2: f64 = self
+                    .rows
+                    .row(i)
+                    .iter()
+                    .zip(&probe)
+                    .map(|(&a, &b)| (a - b) * (a - b))
+                    .sum();
+                (d2.sqrt(), self.targets[i])
+            })
+            .collect();
+        dists.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distance"));
+        dists.truncate(self.k);
+        if dists[0].0 < 1e-12 {
+            return dists[0].1;
+        }
+        let mut wsum = 0.0;
+        let mut acc = 0.0;
+        for (d, t) in dists {
+            let w = 1.0 / d;
+            wsum += w;
+            acc += w * t;
+        }
+        acc / wsum
+    }
+
+    /// Per-sample predictions for a dataset.
+    pub fn predict_dataset(&self, data: &Dataset) -> Vec<f64> {
+        (0..data.len()).map(|i| self.predict(data.row(i))).collect()
+    }
+
+    /// Mean absolute percentage error on a dataset.
+    pub fn mape(&self, data: &Dataset) -> f64 {
+        rafiki_stats::descriptive::mape(&self.predict_dataset(data), data.targets())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_dataset() -> Dataset {
+        let mut rows = Vec::new();
+        let mut targets = Vec::new();
+        for i in 0..10 {
+            for j in 0..10 {
+                let (a, b) = (i as f64, j as f64 * 100.0);
+                rows.push(vec![a, b]);
+                targets.push(1_000.0 + 50.0 * a - 2.0 * b / 100.0 * a);
+            }
+        }
+        Dataset::from_rows(&rows, targets)
+    }
+
+    #[test]
+    fn exact_match_returns_training_target() {
+        let data = grid_dataset();
+        let knn = KnnRegressor::fit(&data, 5);
+        for i in [0usize, 37, 99] {
+            assert_eq!(knn.predict(data.row(i)), data.targets()[i]);
+        }
+    }
+
+    #[test]
+    fn interpolates_between_neighbours() {
+        let data = grid_dataset();
+        let knn = KnnRegressor::fit(&data, 4);
+        // Midpoint of a smooth surface: prediction within the local range.
+        let p = knn.predict(&[4.5, 450.0]);
+        assert!(p > 1_000.0 && p < 1_500.0, "prediction {p}");
+        assert!(knn.mape(&data) < 1e-9, "training MAPE must be ~0");
+    }
+
+    #[test]
+    fn k_is_clamped_to_dataset_size() {
+        let data = Dataset::from_rows(&[vec![0.0], vec![1.0]], vec![10.0, 20.0]);
+        let knn = KnnRegressor::fit(&data, 50);
+        assert_eq!(knn.k(), 2);
+        let mid = knn.predict(&[0.5]);
+        assert!((mid - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn extrapolation_is_poor_compared_to_interpolation() {
+        // The paper's §5 point: interpolators cannot extrapolate to unseen
+        // regions. Hold out the whole top slab of the grid.
+        let data = grid_dataset();
+        let (train_idx, test_idx): (Vec<usize>, Vec<usize>) =
+            (0..data.len()).partition(|&i| data.row(i)[0] < 7.0);
+        let train = data.subset(&train_idx);
+        let test = data.subset(&test_idx);
+        let knn = KnnRegressor::fit(&train, 5);
+        let extrapolation_mape = knn.mape(&test);
+        let interpolation_mape = knn.mape(&train);
+        assert!(
+            extrapolation_mape > interpolation_mape + 0.5,
+            "extrapolation {extrapolation_mape}% vs interpolation {interpolation_mape}%"
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_k_rejected() {
+        let _ = KnnRegressor::fit(&grid_dataset(), 0);
+    }
+}

@@ -1,0 +1,67 @@
+//! Neural-network surrogate models for the Rafiki reproduction.
+//!
+//! Rafiki (Mahgoub et al., Middleware '17) predicts NoSQL datastore
+//! throughput from `{workload, configuration}` features with a feed-forward
+//! network (6 → 14 → 4 → 1) trained by Levenberg–Marquardt with Bayesian
+//! regularization — MATLAB's `trainbr` — and averages an ensemble of 20
+//! networks after pruning the worst 30% by training error. This crate
+//! implements that stack from scratch:
+//!
+//! - [`linalg`] — the dense matrix kernel (products, Cholesky, LU),
+//! - [`network`] — the feed-forward network with analytic Jacobians,
+//! - [`train`] — LM + MacKay Bayesian regularization,
+//! - [`ensemble`] — the pruned-ensemble surrogate ([`SurrogateModel`]),
+//! - [`tree`] — the interpretable regression-tree baseline the paper
+//!   rejected,
+//! - [`dataset`]/[`scaler`] — data handling and `mapminmax`-style scaling.
+//!
+//! # Example
+//!
+//! ```
+//! use rafiki_neural::{Dataset, SurrogateConfig, SurrogateModel, TrainConfig};
+//!
+//! // A toy response surface: throughput = f(read_ratio, cache_mb).
+//! let mut rows = Vec::new();
+//! let mut throughput = Vec::new();
+//! for rr in 0..6 {
+//!     for cache in 0..6 {
+//!         let (rr, cache) = (rr as f64 / 5.0, cache as f64 * 100.0);
+//!         rows.push(vec![rr, cache]);
+//!         throughput.push(60_000.0 - 20_000.0 * rr + 30.0 * cache * rr);
+//!     }
+//! }
+//! let data = Dataset::from_rows(&rows, throughput);
+//!
+//! let cfg = SurrogateConfig {
+//!     hidden: vec![8],
+//!     ensemble_size: 4,
+//!     train: TrainConfig { max_epochs: 50, ..TrainConfig::default() },
+//!     ..SurrogateConfig::default()
+//! };
+//! let model = SurrogateModel::fit(&data, &cfg);
+//! let pred = model.predict(&[0.5, 300.0]);
+//! assert!(pred > 40_000.0 && pred < 70_000.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod activation;
+pub mod dataset;
+pub mod ensemble;
+pub mod knn;
+pub mod linalg;
+pub mod network;
+pub mod scaler;
+pub mod train;
+pub mod tree;
+
+pub use activation::Activation;
+pub use dataset::Dataset;
+pub use ensemble::{RegressionMetrics, SurrogateConfig, SurrogateModel};
+pub use knn::KnnRegressor;
+pub use linalg::Matrix;
+pub use network::Network;
+pub use scaler::MinMaxScaler;
+pub use train::{StopReason, TrainConfig, TrainReport};
+pub use tree::{RegressionTree, TreeConfig};

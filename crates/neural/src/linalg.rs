@@ -1,0 +1,453 @@
+#![allow(clippy::needless_range_loop)]
+//! Small dense linear algebra kernel backing the Levenberg–Marquardt
+//! trainer: row-major matrices, products, and Cholesky/LU solves.
+//!
+//! The weight counts of Rafiki's surrogate (6 → 14 → 4 → 1, ~173 weights)
+//! keep every matrix here comfortably small, so the implementations favour
+//! clarity over blocking or SIMD.
+
+/// A dense row-major matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows x cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates an identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix from a nested row representation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have inconsistent lengths.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, Vec::len);
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "ragged rows in Matrix::from_rows");
+            data.extend_from_slice(row);
+        }
+        Matrix { rows: r, cols: c, data }
+    }
+
+    /// Creates a matrix from a flat row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer size mismatch");
+        Matrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrow of one row as a slice.
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable borrow of one row.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Flat row-major data.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// Matrix product `self * rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.rows, "matmul dimension mismatch");
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                let rrow = rhs.row(k);
+                let orow = out.row_mut(i);
+                for (o, &r) in orow.iter_mut().zip(rrow) {
+                    *o += a * r;
+                }
+            }
+        }
+        out
+    }
+
+    /// `AᵀA` in one pass (symmetric Gram matrix); cheaper than
+    /// `a.transpose().matmul(&a)`.
+    pub fn gram(&self) -> Matrix {
+        let n = self.cols;
+        let mut g = Matrix::zeros(n, n);
+        for r in 0..self.rows {
+            let row = self.row(r);
+            for i in 0..n {
+                let v = row[i];
+                if v == 0.0 {
+                    continue;
+                }
+                for j in i..n {
+                    g[(i, j)] += v * row[j];
+                }
+            }
+        }
+        for i in 0..n {
+            for j in 0..i {
+                g[(i, j)] = g[(j, i)];
+            }
+        }
+        g
+    }
+
+    /// Matrix-vector product.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `v.len() != cols`.
+    pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.cols, "matvec dimension mismatch");
+        (0..self.rows)
+            .map(|i| self.row(i).iter().zip(v).map(|(&a, &b)| a * b).sum())
+            .collect()
+    }
+
+    /// Transposed matrix-vector product `Aᵀ v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `v.len() != rows`.
+    pub fn matvec_t(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.rows, "matvec_t dimension mismatch");
+        let mut out = vec![0.0; self.cols];
+        for i in 0..self.rows {
+            let s = v[i];
+            if s == 0.0 {
+                continue;
+            }
+            for (o, &a) in out.iter_mut().zip(self.row(i)) {
+                *o += s * a;
+            }
+        }
+        out
+    }
+
+    /// Adds `scale * I` to a square matrix in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the matrix is not square.
+    pub fn add_diagonal(&mut self, scale: f64) {
+        assert_eq!(self.rows, self.cols, "add_diagonal on non-square matrix");
+        for i in 0..self.rows {
+            self[(i, i)] += scale;
+        }
+    }
+
+    /// Scales every element in place.
+    pub fn scale(&mut self, s: f64) {
+        for v in &mut self.data {
+            *v *= s;
+        }
+    }
+
+    /// Cholesky factorization `A = L Lᵀ` of a symmetric positive definite
+    /// matrix. Returns `None` when the matrix is not positive definite.
+    pub fn cholesky(&self) -> Option<Cholesky> {
+        assert_eq!(self.rows, self.cols, "cholesky of non-square matrix");
+        let n = self.rows;
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = self[(i, j)];
+                for k in 0..j {
+                    sum -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if sum <= 0.0 || !sum.is_finite() {
+                        return None;
+                    }
+                    l[(i, j)] = sum.sqrt();
+                } else {
+                    l[(i, j)] = sum / l[(j, j)];
+                }
+            }
+        }
+        Some(Cholesky { l })
+    }
+
+    /// Solves `A x = b` via LU with partial pivoting.
+    /// Returns `None` for singular systems.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn lu_solve(&self, b: &[f64]) -> Option<Vec<f64>> {
+        assert_eq!(self.rows, self.cols, "lu_solve on non-square matrix");
+        assert_eq!(b.len(), self.rows, "lu_solve rhs mismatch");
+        let n = self.rows;
+        let mut a = self.clone();
+        let mut x: Vec<f64> = b.to_vec();
+        let mut perm: Vec<usize> = (0..n).collect();
+        for col in 0..n {
+            // Pivot.
+            let mut piv = col;
+            let mut max = a[(perm[col], col)].abs();
+            for r in (col + 1)..n {
+                let v = a[(perm[r], col)].abs();
+                if v > max {
+                    max = v;
+                    piv = r;
+                }
+            }
+            if max < 1e-300 {
+                return None;
+            }
+            perm.swap(col, piv);
+            let prow = perm[col];
+            let pval = a[(prow, col)];
+            for r in (col + 1)..n {
+                let row = perm[r];
+                let f = a[(row, col)] / pval;
+                if f == 0.0 {
+                    continue;
+                }
+                a[(row, col)] = f; // store multiplier
+                for c in (col + 1)..n {
+                    let v = a[(prow, c)];
+                    a[(row, c)] -= f * v;
+                }
+                x[row] -= f * x[prow];
+            }
+        }
+        // Back substitution.
+        let mut out = vec![0.0; n];
+        for col in (0..n).rev() {
+            let row = perm[col];
+            let mut v = x[row];
+            for c in (col + 1)..n {
+                v -= a[(row, c)] * out[c];
+            }
+            out[col] = v / a[(row, col)];
+        }
+        Some(out)
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        debug_assert!(r < self.rows && c < self.cols, "index out of bounds");
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        debug_assert!(r < self.rows && c < self.cols, "index out of bounds");
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+/// A lower-triangular Cholesky factor.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Solves `A x = b` where `A = L Lᵀ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `b.len()` does not match the factor size.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.l.rows();
+        assert_eq!(b.len(), n, "cholesky solve rhs mismatch");
+        // Forward: L y = b
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut v = b[i];
+            for k in 0..i {
+                v -= self.l[(i, k)] * y[k];
+            }
+            y[i] = v / self.l[(i, i)];
+        }
+        // Backward: Lᵀ x = y
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut v = y[i];
+            for k in (i + 1)..n {
+                v -= self.l[(k, i)] * x[k];
+            }
+            x[i] = v / self.l[(i, i)];
+        }
+        x
+    }
+
+    /// Trace of `A⁻¹`, computed column by column. Needed for the MacKay
+    /// effective-parameter count γ = W − 2α·tr(H⁻¹).
+    pub fn inverse_trace(&self) -> f64 {
+        let n = self.l.rows();
+        let mut e = vec![0.0; n];
+        let mut tr = 0.0;
+        for i in 0..n {
+            e[i] = 1.0;
+            let col = self.solve(&e);
+            tr += col[i];
+            e[i] = 0.0;
+        }
+        tr
+    }
+
+    /// Log-determinant of `A` (`2 Σ ln L_ii`).
+    pub fn log_det(&self) -> f64 {
+        (0..self.l.rows()).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_vec_close(a: &[f64], b: &[f64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < tol, "{a:?} != {b:?}");
+        }
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let i = Matrix::identity(2);
+        assert_eq!(a.matmul(&i), a);
+        assert_eq!(i.matmul(&a), a);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        let b = Matrix::from_rows(&[vec![7.0, 8.0], vec![9.0, 10.0], vec![11.0, 12.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c, Matrix::from_rows(&[vec![58.0, 64.0], vec![139.0, 154.0]]));
+    }
+
+    #[test]
+    fn gram_equals_transpose_matmul() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, -1.0], vec![0.5, 4.0]]);
+        assert_eq!(a.gram(), a.transpose().matmul(&a));
+    }
+
+    #[test]
+    fn matvec_variants() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(a.matvec(&[1.0, 1.0]), vec![3.0, 7.0]);
+        assert_eq!(a.matvec_t(&[1.0, 1.0]), vec![4.0, 6.0]);
+    }
+
+    #[test]
+    fn cholesky_solves_spd_system() {
+        // A = [[4,2],[2,3]], b = [6,5] -> x = [1,1]
+        let a = Matrix::from_rows(&[vec![4.0, 2.0], vec![2.0, 3.0]]);
+        let ch = a.cholesky().unwrap();
+        assert_vec_close(&ch.solve(&[6.0, 5.0]), &[1.0, 1.0], 1e-12);
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 1.0]]);
+        assert!(a.cholesky().is_none());
+    }
+
+    #[test]
+    fn cholesky_inverse_trace_matches_direct() {
+        // inv([[4,2],[2,3]]) = 1/8 [[3,-2],[-2,4]], trace = 7/8
+        let a = Matrix::from_rows(&[vec![4.0, 2.0], vec![2.0, 3.0]]);
+        let ch = a.cholesky().unwrap();
+        assert!((ch.inverse_trace() - 7.0 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cholesky_log_det() {
+        // det([[4,2],[2,3]]) = 8
+        let a = Matrix::from_rows(&[vec![4.0, 2.0], vec![2.0, 3.0]]);
+        assert!((a.cholesky().unwrap().log_det() - 8f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lu_solves_general_system() {
+        // Non-symmetric system.
+        let a = Matrix::from_rows(&[vec![0.0, 2.0, 1.0], vec![1.0, -2.0, -3.0], vec![-1.0, 1.0, 2.0]]);
+        let b = [-8.0, 0.0, 3.0];
+        let x = a.lu_solve(&b).unwrap();
+        // Verify A x = b.
+        assert_vec_close(&a.matvec(&x), &b, 1e-10);
+    }
+
+    #[test]
+    fn lu_detects_singularity() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
+        assert!(a.lu_solve(&[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn add_diagonal_and_scale() {
+        let mut a = Matrix::zeros(2, 2);
+        a.add_diagonal(3.0);
+        a.scale(2.0);
+        assert_eq!(a[(0, 0)], 6.0);
+        assert_eq!(a[(1, 1)], 6.0);
+        assert_eq!(a[(0, 1)], 0.0);
+    }
+}

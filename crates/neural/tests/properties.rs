@@ -1,0 +1,123 @@
+//! Property-based tests for the neural crate's numerical kernels.
+
+use proptest::prelude::*;
+use rafiki_neural::linalg::Matrix;
+use rafiki_neural::{Dataset, MinMaxScaler, Network};
+
+fn spd_matrix(n: usize, seed: &[f64]) -> Matrix {
+    // A = B Bᵀ + n·I is symmetric positive definite.
+    let mut b = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            b[(i, j)] = seed[(i * n + j) % seed.len()].sin() * 2.0;
+        }
+    }
+    let mut a = b.matmul(&b.transpose());
+    a.add_diagonal(n as f64);
+    a
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn cholesky_solves_spd_systems(
+        n in 1usize..12,
+        seed in prop::collection::vec(-10.0f64..10.0, 4..32),
+        rhs_seed in -5.0f64..5.0,
+    ) {
+        let a = spd_matrix(n, &seed);
+        let b: Vec<f64> = (0..n).map(|i| rhs_seed + i as f64).collect();
+        let chol = a.cholesky().expect("SPD by construction");
+        let x = chol.solve(&b);
+        let ax = a.matvec(&x);
+        for (l, r) in ax.iter().zip(&b) {
+            prop_assert!((l - r).abs() < 1e-6, "residual too large");
+        }
+        prop_assert!(chol.inverse_trace() > 0.0);
+    }
+
+    #[test]
+    fn lu_agrees_with_cholesky_on_spd(
+        n in 1usize..10,
+        seed in prop::collection::vec(-10.0f64..10.0, 4..32),
+    ) {
+        let a = spd_matrix(n, &seed);
+        let b: Vec<f64> = (0..n).map(|i| (i + 1) as f64).collect();
+        let x1 = a.cholesky().expect("SPD").solve(&b);
+        let x2 = a.lu_solve(&b).expect("non-singular");
+        for (l, r) in x1.iter().zip(&x2) {
+            prop_assert!((l - r).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn matmul_is_associative(
+        a in prop::collection::vec(-3.0f64..3.0, 6),
+        b in prop::collection::vec(-3.0f64..3.0, 6),
+        c in prop::collection::vec(-3.0f64..3.0, 4),
+    ) {
+        // (2x3 * 3x2) * 2x2 == 2x3 * (3x2 * 2x2)
+        let ma = Matrix::from_vec(2, 3, a);
+        let mb = Matrix::from_vec(3, 2, b);
+        let mc = Matrix::from_vec(2, 2, c);
+        let left = ma.matmul(&mb).matmul(&mc);
+        let right = ma.matmul(&mb.matmul(&mc));
+        for i in 0..2 {
+            for j in 0..2 {
+                prop_assert!((left[(i, j)] - right[(i, j)]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn scaler_output_is_bounded_on_training_data(
+        rows in prop::collection::vec(prop::collection::vec(-1e6f64..1e6, 3), 1..40),
+    ) {
+        let m = Matrix::from_rows(&rows);
+        let scaler = MinMaxScaler::fit(&m);
+        let t = scaler.transform(&m);
+        for r in 0..t.rows() {
+            for &v in t.row(r) {
+                prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&v), "scaled value {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn network_output_is_finite_for_bounded_inputs(
+        seed in 0u64..1_000,
+        x in prop::collection::vec(-1.0f64..1.0, 4),
+    ) {
+        let net = Network::new(4, &[8, 3], seed);
+        let y = net.forward(&x);
+        prop_assert!(y.is_finite());
+        // tanh hidden layers + Xavier init keep the linear output modest.
+        prop_assert!(y.abs() < 100.0, "output {y}");
+    }
+
+    #[test]
+    fn group_split_never_leaks_groups(
+        n_groups in 2usize..8,
+        per_group in 1usize..6,
+        seed in 0u64..100,
+    ) {
+        let mut rows = Vec::new();
+        let mut targets = Vec::new();
+        for g in 0..n_groups {
+            for k in 0..per_group {
+                rows.push(vec![g as f64, k as f64]);
+                targets.push(g as f64 * 10.0);
+            }
+        }
+        let data = Dataset::from_rows(&rows, targets);
+        let (train, test) = data.split_by_group(0.3, seed, |_, row| row[0] as u64);
+        prop_assert_eq!(train.len() + test.len(), data.len());
+        prop_assert!(!test.is_empty() && !train.is_empty());
+        let test_groups: std::collections::HashSet<u64> =
+            (0..test.len()).map(|i| test.row(i)[0] as u64).collect();
+        for i in 0..train.len() {
+            prop_assert!(!test_groups.contains(&(train.row(i)[0] as u64)));
+        }
+    }
+}

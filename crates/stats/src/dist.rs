@@ -1,0 +1,237 @@
+//! Probability distributions used by the Rafiki pipeline.
+//!
+//! - [`FDist`] provides the p-values for the ANOVA parameter screen.
+//! - [`Exponential`] models the key-reuse distance (KRD) of MG-RAST-style
+//!   workloads; the paper fits an exponential distribution to the observed
+//!   reuse distances (§3.3) and drives benchmarking from that fit.
+//! - [`Normal`] backs the prediction-error histogram overlays.
+
+use crate::special::{betai, erf};
+use crate::StatsError;
+
+/// Fisher–Snedecor F distribution with `d1` and `d2` degrees of freedom.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FDist {
+    /// Numerator (between-groups) degrees of freedom.
+    pub d1: f64,
+    /// Denominator (within-groups) degrees of freedom.
+    pub d2: f64,
+}
+
+impl FDist {
+    /// Creates an F distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::Domain`] if either degrees-of-freedom value is
+    /// not strictly positive.
+    pub fn new(d1: f64, d2: f64) -> Result<Self, StatsError> {
+        if d1 <= 0.0 || d2 <= 0.0 {
+            return Err(StatsError::Domain {
+                what: "F degrees of freedom",
+            });
+        }
+        Ok(Self { d1, d2 })
+    }
+
+    /// Cumulative distribution function `P(F <= x)`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        let z = self.d1 * x / (self.d1 * x + self.d2);
+        betai(self.d1 / 2.0, self.d2 / 2.0, z)
+    }
+
+    /// Survival function `P(F > x)`, i.e. the p-value for an observed
+    /// F statistic `x`.
+    pub fn sf(&self, x: f64) -> f64 {
+        1.0 - self.cdf(x)
+    }
+}
+
+/// Exponential distribution with rate `lambda` (mean `1/lambda`).
+///
+/// Used as the model for key-reuse distances. The paper fits this
+/// distribution to the 4-day MG-RAST trace and then drives the synthetic
+/// benchmark with it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    /// Rate parameter; the mean of the distribution is `1 / lambda`.
+    pub lambda: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential distribution with the given rate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::Domain`] when `lambda <= 0`.
+    pub fn new(lambda: f64) -> Result<Self, StatsError> {
+        if lambda <= 0.0 || !lambda.is_finite() {
+            return Err(StatsError::Domain { what: "lambda" });
+        }
+        Ok(Self { lambda })
+    }
+
+    /// Maximum-likelihood fit: `lambda = 1 / mean(samples)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::NotEnoughData`] for empty input and
+    /// [`StatsError::Domain`] when the sample mean is not positive.
+    pub fn fit_mle(samples: &[f64]) -> Result<Self, StatsError> {
+        if samples.is_empty() {
+            return Err(StatsError::NotEnoughData {
+                what: "exponential MLE",
+                needed: 1,
+                got: 0,
+            });
+        }
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        if mean <= 0.0 {
+            return Err(StatsError::Domain { what: "sample mean" });
+        }
+        Self::new(1.0 / mean)
+    }
+
+    /// Mean of the distribution.
+    pub fn mean(&self) -> f64 {
+        1.0 / self.lambda
+    }
+
+    /// Cumulative distribution function.
+    pub fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            1.0 - (-self.lambda * x).exp()
+        }
+    }
+
+    /// Inverse CDF (quantile function) for `p ∈ [0, 1)`.
+    pub fn quantile(&self, p: f64) -> f64 {
+        assert!((0.0..1.0).contains(&p), "quantile requires p in [0,1), got {p}");
+        -(1.0 - p).ln() / self.lambda
+    }
+
+    /// Draws a sample using the inversion method from a uniform variate
+    /// `u ∈ [0, 1)` supplied by the caller (keeps this crate RNG-free).
+    pub fn sample_from_uniform(&self, u: f64) -> f64 {
+        self.quantile(u.clamp(0.0, 1.0 - 1e-15))
+    }
+}
+
+/// Normal distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    /// Mean.
+    pub mu: f64,
+    /// Standard deviation (must be positive).
+    pub sigma: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::Domain`] when `sigma <= 0`.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, StatsError> {
+        if sigma <= 0.0 || !sigma.is_finite() {
+            return Err(StatsError::Domain { what: "sigma" });
+        }
+        Ok(Self { mu, sigma })
+    }
+
+    /// Probability density function.
+    pub fn pdf(&self, x: f64) -> f64 {
+        let z = (x - self.mu) / self.sigma;
+        (-0.5 * z * z).exp() / (self.sigma * (2.0 * std::f64::consts::PI).sqrt())
+    }
+
+    /// Cumulative distribution function.
+    pub fn cdf(&self, x: f64) -> f64 {
+        0.5 * (1.0 + erf((x - self.mu) / (self.sigma * std::f64::consts::SQRT_2)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} != {b} (tol {tol})");
+    }
+
+    #[test]
+    fn f_cdf_reference_values() {
+        // F(1, 1): cdf(1) = 0.5
+        let f11 = FDist::new(1.0, 1.0).unwrap();
+        assert_close(f11.cdf(1.0), 0.5, 1e-9);
+        // F(2, 2): cdf(x) = x / (1 + x)
+        let f22 = FDist::new(2.0, 2.0).unwrap();
+        for &x in &[0.5, 1.0, 3.0, 10.0] {
+            assert_close(f22.cdf(x), x / (1.0 + x), 1e-9);
+        }
+        // Reference from numerical integration of the F(3,10) density.
+        let f = FDist::new(3.0, 10.0).unwrap();
+        assert_close(f.cdf(4.0), 0.958_652_3, 2e-6);
+    }
+
+    #[test]
+    fn f_sf_is_complement() {
+        let f = FDist::new(4.0, 16.0).unwrap();
+        assert_close(f.cdf(2.5) + f.sf(2.5), 1.0, 1e-12);
+    }
+
+    #[test]
+    fn f_rejects_bad_dof() {
+        assert!(FDist::new(0.0, 3.0).is_err());
+        assert!(FDist::new(2.0, -1.0).is_err());
+    }
+
+    #[test]
+    fn exponential_fit_recovers_mean() {
+        let samples = vec![2.0, 4.0, 6.0, 8.0];
+        let e = Exponential::fit_mle(&samples).unwrap();
+        assert_close(e.mean(), 5.0, 1e-12);
+        assert_close(e.lambda, 0.2, 1e-12);
+    }
+
+    #[test]
+    fn exponential_quantile_inverts_cdf() {
+        let e = Exponential::new(0.5).unwrap();
+        for &p in &[0.0, 0.1, 0.5, 0.9, 0.999] {
+            assert_close(e.cdf(e.quantile(p)), p, 1e-10);
+        }
+    }
+
+    #[test]
+    fn exponential_rejects_bad_input() {
+        assert!(Exponential::new(0.0).is_err());
+        assert!(Exponential::fit_mle(&[]).is_err());
+        assert!(Exponential::fit_mle(&[0.0, 0.0]).is_err());
+    }
+
+    #[test]
+    fn normal_cdf_reference_values() {
+        let n = Normal::new(0.0, 1.0).unwrap();
+        assert_close(n.cdf(0.0), 0.5, 1e-9);
+        assert_close(n.cdf(1.96), 0.975, 1e-3);
+        assert_close(n.cdf(-1.96), 0.025, 1e-3);
+    }
+
+    #[test]
+    fn normal_pdf_integrates_to_one() {
+        let n = Normal::new(2.0, 3.0).unwrap();
+        let mut sum = 0.0;
+        let dx = 0.01;
+        let mut x = -20.0;
+        while x < 24.0 {
+            sum += n.pdf(x) * dx;
+            x += dx;
+        }
+        assert_close(sum, 1.0, 1e-3);
+    }
+}

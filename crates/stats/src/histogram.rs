@@ -1,0 +1,172 @@
+//! Fixed-bin histograms, used to regenerate Figures 8 and 9 of the paper
+//! (distribution of surrogate prediction errors for unseen configurations
+//! and unseen workloads).
+
+use crate::StatsError;
+
+/// A histogram with equally sized bins over `[lo, hi)`; values outside the
+/// range are clamped into the first/last bin so that every observation is
+/// counted (matching how the paper's ±20% error plots bucket outliers).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[lo, hi)` with `bins` equal-width bins.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::Domain`] when `bins == 0` or `lo >= hi`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Result<Self, StatsError> {
+        if bins == 0 || lo >= hi {
+            return Err(StatsError::Domain {
+                what: "histogram range/bins",
+            });
+        }
+        Ok(Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            total: 0,
+        })
+    }
+
+    /// Adds one observation (clamped into range).
+    pub fn add(&mut self, x: f64) {
+        let bins = self.counts.len();
+        let w = (self.hi - self.lo) / bins as f64;
+        let idx = if x < self.lo {
+            0
+        } else {
+            (((x - self.lo) / w) as usize).min(bins - 1)
+        };
+        self.counts[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Adds many observations.
+    pub fn extend<I: IntoIterator<Item = f64>>(&mut self, xs: I) {
+        for x in xs {
+            self.add(x);
+        }
+    }
+
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total observations recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Count in bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i >= bins()`.
+    pub fn count(&self, i: usize) -> u64 {
+        self.counts[i]
+    }
+
+    /// `(bin_center, count)` pairs, ready for plotting.
+    pub fn centers(&self) -> Vec<(f64, u64)> {
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (self.lo + (i as f64 + 0.5) * w, c))
+            .collect()
+    }
+
+    /// Fraction of observations whose bin center lies within `[-b, b]`.
+    /// Used to report "most projections lie in the |5|% range" style claims.
+    pub fn mass_within(&self, b: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let inside: u64 = self
+            .centers()
+            .iter()
+            .filter(|(c, _)| c.abs() <= b)
+            .map(|&(_, n)| n)
+            .sum();
+        inside as f64 / self.total as f64
+    }
+
+    /// Renders a small ASCII bar chart (one line per bin).
+    pub fn render_ascii(&self, width: usize) -> String {
+        let max = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (center, count) in self.centers() {
+            let bar = (count as usize * width) / max as usize;
+            out.push_str(&format!(
+                "{center:>8.2} | {:<width$} {count}\n",
+                "#".repeat(bar),
+                width = width
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_land_in_right_bins() {
+        let mut h = Histogram::new(0.0, 10.0, 5).unwrap();
+        h.extend([0.5, 1.5, 9.9, 5.0, 4.999]);
+        assert_eq!(h.count(0), 2); // 0.5, 1.5
+        assert_eq!(h.count(2), 2); // 4.999, 5.0
+        assert_eq!(h.count(4), 1); // 9.9
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    fn out_of_range_values_clamp() {
+        let mut h = Histogram::new(-1.0, 1.0, 4).unwrap();
+        h.add(-5.0);
+        h.add(5.0);
+        assert_eq!(h.count(0), 1);
+        assert_eq!(h.count(3), 1);
+    }
+
+    #[test]
+    fn centers_are_midpoints() {
+        let h = Histogram::new(0.0, 4.0, 4).unwrap();
+        let centers: Vec<f64> = h.centers().iter().map(|&(c, _)| c).collect();
+        assert_eq!(centers, vec![0.5, 1.5, 2.5, 3.5]);
+    }
+
+    #[test]
+    fn mass_within_band() {
+        let mut h = Histogram::new(-10.0, 10.0, 20).unwrap();
+        for _ in 0..8 {
+            h.add(0.1);
+        }
+        h.add(9.0);
+        h.add(-9.0);
+        assert!((h.mass_within(5.0) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_construction_rejected() {
+        assert!(Histogram::new(0.0, 0.0, 4).is_err());
+        assert!(Histogram::new(0.0, 1.0, 0).is_err());
+    }
+
+    #[test]
+    fn ascii_render_has_one_line_per_bin() {
+        let mut h = Histogram::new(0.0, 3.0, 3).unwrap();
+        h.extend([0.5, 1.5, 1.6, 2.5]);
+        let s = h.render_ascii(10);
+        assert_eq!(s.lines().count(), 3);
+    }
+}

@@ -1,0 +1,73 @@
+//! Statistical primitives for the Rafiki reproduction.
+//!
+//! Rafiki (Mahgoub et al., Middleware '17) screens NoSQL configuration
+//! parameters with a one-way analysis of variance (ANOVA): each parameter is
+//! varied individually while the rest stay at their defaults, and parameters
+//! are ranked by the variance they induce in throughput. This crate provides
+//! that ANOVA, the special functions needed for its p-values, and the
+//! descriptive statistics and histograms used throughout the evaluation
+//! harness.
+//!
+//! # Example
+//!
+//! ```
+//! use rafiki_stats::anova::{OneWayAnova, ParameterEffect};
+//!
+//! // Throughput samples for three settings of one parameter.
+//! let groups = vec![
+//!     vec![100.0, 101.0, 99.0],
+//!     vec![150.0, 149.5, 151.0],
+//!     vec![90.0, 91.0, 89.5],
+//! ];
+//! let anova = OneWayAnova::from_groups(&groups).unwrap();
+//! assert!(anova.f_statistic > 1.0);
+//! assert!(anova.p_value < 0.01);
+//!
+//! let effect = ParameterEffect::from_group_means("compaction_method", &groups);
+//! assert!(effect.std_dev > 20.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod anova;
+pub mod descriptive;
+pub mod dist;
+pub mod histogram;
+pub mod special;
+
+pub use anova::{select_top_k_by_drop, OneWayAnova, ParameterEffect};
+pub use descriptive::Summary;
+pub use histogram::Histogram;
+
+/// Errors produced by statistical routines in this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StatsError {
+    /// A computation needed more data points than were supplied.
+    NotEnoughData {
+        /// Name of the computation that failed.
+        what: &'static str,
+        /// Number of observations required.
+        needed: usize,
+        /// Number of observations supplied.
+        got: usize,
+    },
+    /// An argument was outside of the function's domain.
+    Domain {
+        /// Name of the offending argument.
+        what: &'static str,
+    },
+}
+
+impl std::fmt::Display for StatsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StatsError::NotEnoughData { what, needed, got } => {
+                write!(f, "{what} needs at least {needed} observations, got {got}")
+            }
+            StatsError::Domain { what } => write!(f, "argument {what} outside domain"),
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}

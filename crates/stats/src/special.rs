@@ -1,0 +1,215 @@
+//! Special functions: log-gamma, regularized incomplete beta, and error
+//! function. These back the distribution CDFs in [`crate::dist`].
+//!
+//! Implementations follow the classic Lanczos / modified-Lentz formulations
+//! and are accurate to roughly 1e-10 over the ranges exercised by the
+//! Rafiki experiments (F-tests with a handful of degrees of freedom).
+
+/// Natural logarithm of the gamma function, `ln Γ(x)` for `x > 0`.
+///
+/// Uses the Lanczos approximation (g = 7, 9 coefficients).
+///
+/// # Panics
+///
+/// Panics if `x <= 0` (the reflection formula is intentionally not
+/// implemented; the statistics in this crate only need positive arguments).
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma requires x > 0, got {x}");
+    const G: f64 = 7.0;
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection: Γ(x)Γ(1-x) = π / sin(πx)
+        let pi = std::f64::consts::PI;
+        return pi.ln() - (pi * x).sin().ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEF[0];
+    let t = x + G + 0.5;
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// Regularized incomplete beta function `I_x(a, b)` for `a, b > 0` and
+/// `x ∈ [0, 1]`, computed with the continued-fraction expansion
+/// (modified Lentz's method).
+///
+/// # Panics
+///
+/// Panics if `x` is outside `[0, 1]` or `a`/`b` are not positive.
+pub fn betai(a: f64, b: f64, x: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&x), "betai requires x in [0,1], got {x}");
+    assert!(a > 0.0 && b > 0.0, "betai requires a,b > 0, got a={a}, b={b}");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x == 1.0 {
+        return 1.0;
+    }
+    let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let front = ln_front.exp();
+    // Use the symmetry relation to keep the continued fraction convergent.
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * beta_cf(a, b, x) / a
+    } else {
+        1.0 - front * beta_cf(b, a, 1.0 - x) / b
+    }
+}
+
+/// Continued fraction for the incomplete beta function (Numerical Recipes
+/// `betacf`), evaluated via modified Lentz's method.
+fn beta_cf(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 300;
+    const EPS: f64 = 1e-14;
+    const TINY: f64 = 1e-300;
+
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < TINY {
+        d = TINY;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // Even step.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+/// Error function `erf(x)`, via Abramowitz & Stegun 7.1.26-style rational
+/// approximation refined with one continued-fraction-free correction; the
+/// absolute error is below 1.2e-7 which is ample for histogram overlays.
+pub fn erf(x: f64) -> f64 {
+    if x == 0.0 {
+        return 0.0;
+    }
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let y = 1.0
+        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736)
+            * t
+            + 0.254_829_592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} != {b} (tol {tol})");
+    }
+
+    #[test]
+    fn ln_gamma_matches_known_values() {
+        // Γ(1) = 1, Γ(2) = 1, Γ(5) = 24, Γ(0.5) = sqrt(pi)
+        assert_close(ln_gamma(1.0), 0.0, 1e-12);
+        assert_close(ln_gamma(2.0), 0.0, 1e-12);
+        assert_close(ln_gamma(5.0), 24f64.ln(), 1e-10);
+        assert_close(ln_gamma(0.5), std::f64::consts::PI.sqrt().ln(), 1e-10);
+    }
+
+    #[test]
+    fn ln_gamma_recurrence_holds() {
+        // Γ(x+1) = x Γ(x)
+        for &x in &[0.3, 1.7, 4.2, 9.9, 25.0] {
+            assert_close(ln_gamma(x + 1.0), x.ln() + ln_gamma(x), 1e-9);
+        }
+    }
+
+    #[test]
+    fn betai_boundary_values() {
+        assert_eq!(betai(2.0, 3.0, 0.0), 0.0);
+        assert_eq!(betai(2.0, 3.0, 1.0), 1.0);
+    }
+
+    #[test]
+    fn betai_symmetry() {
+        // I_x(a,b) = 1 - I_{1-x}(b,a)
+        for &(a, b, x) in &[(2.0, 3.0, 0.4), (0.5, 0.5, 0.2), (5.0, 1.5, 0.7)] {
+            assert_close(betai(a, b, x), 1.0 - betai(b, a, 1.0 - x), 1e-10);
+        }
+    }
+
+    #[test]
+    fn betai_uniform_case() {
+        // I_x(1,1) = x
+        for i in 0..=10 {
+            let x = i as f64 / 10.0;
+            assert_close(betai(1.0, 1.0, x), x, 1e-10);
+        }
+    }
+
+    #[test]
+    fn betai_known_value() {
+        // I_{0.5}(2,2) = 0.5 by symmetry; I_{0.25}(2,2) = x^2(3-2x) = 0.15625
+        assert_close(betai(2.0, 2.0, 0.5), 0.5, 1e-10);
+        assert_close(betai(2.0, 2.0, 0.25), 0.15625, 1e-10);
+    }
+
+    #[test]
+    fn erf_known_values() {
+        assert_close(erf(0.0), 0.0, 1e-12);
+        assert_close(erf(1.0), 0.842_700_79, 2e-7);
+        assert_close(erf(-1.0), -0.842_700_79, 2e-7);
+        assert_close(erf(2.0), 0.995_322_27, 2e-7);
+    }
+
+    #[test]
+    #[should_panic]
+    fn ln_gamma_rejects_nonpositive() {
+        let _ = ln_gamma(0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn betai_rejects_out_of_range_x() {
+        let _ = betai(1.0, 1.0, 1.5);
+    }
+}

@@ -1,0 +1,112 @@
+//! Property-based tests for the statistics crate.
+
+use proptest::prelude::*;
+use rafiki_stats::descriptive::{mean, percentile, population_variance, r_squared, rmse};
+use rafiki_stats::dist::{Exponential, FDist, Normal};
+use rafiki_stats::special::betai;
+use rafiki_stats::{Histogram, OneWayAnova};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn betai_is_monotone_in_x(
+        a in 0.2f64..8.0,
+        b in 0.2f64..8.0,
+        x1 in 0.01f64..0.98,
+        dx in 0.001f64..0.02,
+    ) {
+        let x2 = (x1 + dx).min(0.999);
+        prop_assert!(betai(a, b, x1) <= betai(a, b, x2) + 1e-12);
+    }
+
+    #[test]
+    fn betai_stays_in_unit_interval(a in 0.1f64..20.0, b in 0.1f64..20.0, x in 0.0f64..=1.0) {
+        let v = betai(a, b, x);
+        prop_assert!((-1e-12..=1.0 + 1e-12).contains(&v), "betai = {v}");
+    }
+
+    #[test]
+    fn f_cdf_is_a_cdf(d1 in 1u32..30, d2 in 1u32..30, x in 0.0f64..50.0) {
+        let f = FDist::new(d1 as f64, d2 as f64).unwrap();
+        let c = f.cdf(x);
+        prop_assert!((0.0..=1.0).contains(&c));
+        prop_assert!(f.cdf(x + 1.0) >= c - 1e-12);
+    }
+
+    #[test]
+    fn exponential_quantile_cdf_inverse(lambda in 0.01f64..100.0, p in 0.0f64..0.999) {
+        let e = Exponential::new(lambda).unwrap();
+        prop_assert!((e.cdf(e.quantile(p)) - p).abs() < 1e-9);
+    }
+
+    #[test]
+    fn normal_cdf_is_symmetric(mu in -100.0f64..100.0, sigma in 0.1f64..50.0, d in 0.0f64..100.0) {
+        let n = Normal::new(mu, sigma).unwrap();
+        prop_assert!((n.cdf(mu + d) + n.cdf(mu - d) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn variance_is_translation_invariant(
+        xs in prop::collection::vec(-1e4f64..1e4, 2..50),
+        shift in -1e4f64..1e4,
+    ) {
+        let shifted: Vec<f64> = xs.iter().map(|x| x + shift).collect();
+        let v1 = population_variance(&xs);
+        let v2 = population_variance(&shifted);
+        prop_assert!((v1 - v2).abs() <= 1e-6 * v1.abs().max(1.0));
+    }
+
+    #[test]
+    fn percentile_is_monotone_and_bounded(
+        xs in prop::collection::vec(-1e6f64..1e6, 1..100),
+        p1 in 0.0f64..=100.0,
+        p2 in 0.0f64..=100.0,
+    ) {
+        let (lo, hi) = (p1.min(p2), p1.max(p2));
+        let a = percentile(&xs, lo);
+        let b = percentile(&xs, hi);
+        prop_assert!(a <= b + 1e-9);
+        let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(a >= min - 1e-9 && b <= max + 1e-9);
+    }
+
+    #[test]
+    fn rmse_zero_iff_equal(xs in prop::collection::vec(-1e3f64..1e3, 1..50)) {
+        prop_assert_eq!(rmse(&xs, &xs), 0.0);
+        prop_assert!((r_squared(&xs, &xs) - 1.0).abs() < 1e-12 || population_variance(&xs) == 0.0);
+    }
+
+    #[test]
+    fn histogram_conserves_mass(
+        values in prop::collection::vec(-1e3f64..1e3, 0..300),
+        bins in 1usize..40,
+    ) {
+        let mut h = Histogram::new(-100.0, 100.0, bins).unwrap();
+        h.extend(values.iter().cloned());
+        prop_assert_eq!(h.total(), values.len() as u64);
+        let counted: u64 = (0..h.bins()).map(|i| h.count(i)).sum();
+        prop_assert_eq!(counted, values.len() as u64);
+    }
+
+    #[test]
+    fn anova_f_is_nonnegative(
+        g1 in prop::collection::vec(0.0f64..1e4, 2..20),
+        g2 in prop::collection::vec(0.0f64..1e4, 2..20),
+        g3 in prop::collection::vec(0.0f64..1e4, 2..20),
+    ) {
+        let a = OneWayAnova::from_groups(&[g1, g2, g3]).unwrap();
+        prop_assert!(a.f_statistic >= 0.0);
+        prop_assert!((0.0..=1.0).contains(&a.p_value));
+        prop_assert!((0.0..=1.0).contains(&a.eta_squared));
+    }
+
+    #[test]
+    fn mean_lies_between_min_and_max(xs in prop::collection::vec(-1e6f64..1e6, 1..100)) {
+        let m = mean(&xs);
+        let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(m >= min - 1e-6 && m <= max + 1e-6);
+    }
+}

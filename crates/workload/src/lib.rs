@@ -1,0 +1,48 @@
+//! Workload modelling for the Rafiki reproduction: operation types, the
+//! MG-RAST-style synthetic generators, regime-switching traces, workload
+//! characterization, and the benchmark-harness types.
+//!
+//! Rafiki (Mahgoub et al., Middleware '17) characterizes a workload with
+//! two statistics (§3.3): the **read ratio** (RR) per 15-minute window and
+//! the **key-reuse distance** (KRD), fit to an exponential distribution
+//! over a long trace. This crate provides:
+//!
+//! - [`op`] — [`Operation`]/[`OperationSource`], the interface the
+//!   datastore engines consume;
+//! - [`generator`] — deterministic synthetic workloads with controlled RR
+//!   and KRD ([`WorkloadGenerator`]);
+//! - [`trace`] — the regime-switching [`MgRastModel`] reproducing Figure 3's
+//!   abrupt read-heavy/write-heavy/mixed transitions;
+//! - [`characterize`] — RR/KRD extraction from observed operation streams;
+//! - [`driver`] — [`BenchmarkSpec`]/[`BenchmarkResult`], the YCSB-like
+//!   harness contract.
+//!
+//! # Example
+//!
+//! ```
+//! use rafiki_workload::{OperationSource, WorkloadGenerator, WorkloadSpec};
+//!
+//! let mut gen = WorkloadGenerator::new(WorkloadSpec::with_read_ratio(0.9), 7);
+//! let ops: Vec<_> = (0..1000).map(|_| gen.next_op()).collect();
+//! let rr = rafiki_workload::characterize::read_ratio(&ops);
+//! assert!((rr - 0.9).abs() < 0.05);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod characterize;
+pub mod driver;
+pub mod forecast;
+pub mod generator;
+pub mod op;
+pub mod trace;
+pub mod ycsb;
+
+pub use characterize::Characterization;
+pub use forecast::RegimeMarkovForecaster;
+pub use ycsb::YcsbPreset;
+pub use driver::{BenchmarkResult, BenchmarkSpec, ThroughputSample};
+pub use generator::{PayloadSpec, WorkloadGenerator, WorkloadSpec};
+pub use op::{Key, OpKind, Operation, OperationSource, ReplaySource};
+pub use trace::{MgRastModel, Regime, TraceWindow, WorkloadTrace};

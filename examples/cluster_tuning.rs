@@ -1,0 +1,85 @@
+//! Cluster tuning: reproduce the spirit of the paper's multi-server
+//! experiment (§4.9, Table 3) — compare Rafiki-tuned vs default
+//! configurations on a single node and on a two-node replicated cluster
+//! with an extra shooter.
+//!
+//! ```text
+//! cargo run --release --example cluster_tuning
+//! ```
+
+use rafiki::{EvalContext, RafikiTuner, TunerConfig};
+use rafiki_engine::{Cluster, ClusterSpec, EngineConfig, ServerSpec};
+use rafiki_workload::{BenchmarkSpec, WorkloadGenerator, WorkloadSpec};
+
+fn cluster_throughput(cfg: &EngineConfig, nodes: usize, clients: usize, read_ratio: f64) -> f64 {
+    let mut cluster = Cluster::new(
+        cfg,
+        ServerSpec::default(),
+        // RF grows with the cluster "so that each instance stores an
+        // equivalent number of keys as the single-server case".
+        ClusterSpec::new(nodes, nodes),
+        40_000,
+        1_000,
+    );
+    let spec = WorkloadSpec {
+        initial_keys: 40_000,
+        ..WorkloadSpec::with_read_ratio(read_ratio)
+    };
+    let mut workload = WorkloadGenerator::new(spec, 11);
+    let bench = BenchmarkSpec {
+        duration_secs: 3.0,
+        warmup_secs: 1.0,
+        clients,
+        sample_window_secs: 1.0,
+    };
+    cluster.run_benchmark(&mut workload, &bench).avg_ops_per_sec
+}
+
+fn main() {
+    // Offline: fit the tuner on the single-node simulator. The fast
+    // profile is enlarged a little here: multiserver gains in write-heavy
+    // regimes are small (the paper reports 3-15%), so they need a surrogate
+    // trained on more than the bare minimum of samples.
+    let mut cfg = TunerConfig::fast();
+    cfg.collection.configurations = 10;
+    cfg.collection.read_ratios = vec![0.0, 0.2, 0.4, 0.6, 0.8, 1.0];
+    let mut tuner = RafikiTuner::new(EvalContext::small(), cfg);
+    tuner.fit().expect("offline training succeeds");
+
+    println!("workload      setup         default      rafiki     improvement");
+    let space = tuner.space().expect("fitted").clone();
+    for read_ratio in [0.1, 0.5, 1.0] {
+        // Same guard the online controller applies: keep the default unless
+        // the surrogate predicts a real gain (small predicted gains are
+        // within model noise and switching has a cost).
+        let candidate = tuner.optimize(read_ratio).expect("fitted");
+        let default_pred = tuner
+            .predict(read_ratio, &space.default_genome())
+            .expect("fitted");
+        let tuned = if candidate.predicted_throughput > default_pred * 1.02 {
+            candidate.config
+        } else {
+            EngineConfig::default()
+        };
+        for (nodes, clients, label) in [(1usize, 32usize, "single-server"), (2, 64, "two-servers ")] {
+            let default_tput = cluster_throughput(&EngineConfig::default(), nodes, clients, read_ratio);
+            let tuned_tput = cluster_throughput(&tuned, nodes, clients, read_ratio);
+            println!(
+                "RR={:<4.0}%     {}   {:>8.0}    {:>8.0}    {:+.1}%",
+                read_ratio * 100.0,
+                label,
+                default_tput,
+                tuned_tput,
+                (tuned_tput / default_tput - 1.0) * 100.0
+            );
+        }
+    }
+    println!(
+        "\nnote: gains concentrate in read-heavy regimes, as in the paper \
+         (its two-server write-heavy gain was only +3.2%). The surrogate is \
+         trained on single-node benchmarks, so write-heavy cluster cells — \
+         where replication doubles the per-node write load — are at the edge \
+         of its validity and can regress; the online controller's \
+         predicted-gain guard exists for exactly this regime."
+    );
+}

@@ -1,0 +1,80 @@
+//! MG-RAST trace replay: generate a 4-day synthetic trace, characterize it
+//! the way Rafiki's workload-characterization stage does (§3.3) — windowed
+//! read ratio + exponential key-reuse-distance fit — and replay one window
+//! against the engine.
+//!
+//! ```text
+//! cargo run --release --example mgrast_replay
+//! ```
+
+use rafiki_engine::{run_benchmark, Engine, EngineConfig, ServerSpec};
+use rafiki_workload::characterize::{fit_krd, read_ratio, windowed_read_ratio};
+use rafiki_workload::{
+    BenchmarkSpec, MgRastModel, Operation, OperationSource, Regime, ReplaySource,
+    WorkloadGenerator, WorkloadSpec,
+};
+
+fn main() {
+    // 1. Generate the 4-day trace (384 windows of 15 minutes).
+    let model = MgRastModel::default();
+    let trace = model.generate();
+    let rrs = trace.read_ratios();
+    println!(
+        "4-day MG-RAST-like trace: {} windows, mean RR {:.2}, {} abrupt transitions",
+        trace.windows.len(),
+        rrs.iter().sum::<f64>() / rrs.len() as f64,
+        trace.abrupt_transitions(0.4),
+    );
+    let mut counts = std::collections::HashMap::new();
+    for &rr in &rrs {
+        *counts.entry(format!("{:?}", Regime::classify(rr))).or_insert(0usize) += 1;
+    }
+    println!("regime occupancy: {counts:?}");
+
+    // 2. Materialize one window's operations and characterize them.
+    let window = &trace.windows[10];
+    let spec = WorkloadSpec {
+        read_ratio: window.read_ratio,
+        krd_mean: trace.krd_mean,
+        initial_keys: 40_000,
+        ..WorkloadSpec::with_read_ratio(window.read_ratio)
+    };
+    let mut generator = WorkloadGenerator::new(spec, 7);
+    let ops: Vec<Operation> = (0..60_000).map(|_| generator.next_op()).collect();
+
+    println!(
+        "window {}: generated RR {:.2}, observed RR {:.2}",
+        window.index,
+        window.read_ratio,
+        read_ratio(&ops)
+    );
+    let series = windowed_read_ratio(&ops, 10_000);
+    println!("RR stationarity across sub-windows: {series:.2?}");
+    match fit_krd(&ops) {
+        Ok(exp) => println!(
+            "KRD exponential fit: lambda={:.3e} (mean reuse distance {:.0} ops)",
+            exp.lambda,
+            exp.mean()
+        ),
+        Err(e) => println!("KRD fit unavailable: {e}"),
+    }
+
+    // 3. Replay the captured operations against the engine.
+    let mut engine = Engine::new(EngineConfig::default(), ServerSpec::default());
+    engine.preload(40_000, 1_000);
+    let mut replay = ReplaySource::new(ops);
+    let bench = BenchmarkSpec {
+        duration_secs: 2.0,
+        warmup_secs: 0.5,
+        clients: 32,
+        sample_window_secs: 0.5,
+    };
+    let result = run_benchmark(&mut engine, &mut replay, &bench);
+    println!(
+        "replay on defaults: {:.0} ops/s (RR observed {:.2}, p99 {:.2} ms, {} SSTables live)",
+        result.avg_ops_per_sec,
+        result.observed_read_ratio(),
+        result.p99_latency_ms,
+        engine.table_count(),
+    );
+}

@@ -1,0 +1,55 @@
+//! Quickstart: tune the simulated Cassandra-like datastore for one
+//! workload and verify the improvement against the default configuration.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use rafiki::{EvalContext, RafikiTuner, TunerConfig};
+use rafiki_engine::EngineConfig;
+
+fn main() {
+    // The evaluation context: simulated server, benchmark harness, and
+    // workload template. `small()` keeps this example fast; see
+    // `EvalContext::default()` for the full experiment scale.
+    let ctx = EvalContext::small();
+
+    // Fit the tuner: picks the key parameters (the paper's five, since the
+    // fast profile skips the ANOVA screen), benchmarks a sampled set of
+    // configurations across read ratios, and trains the ensemble surrogate.
+    let mut tuner = RafikiTuner::new(ctx, TunerConfig::fast());
+    let report = tuner.fit().expect("data collection and training succeed");
+    println!(
+        "trained surrogate on {} samples over parameters: {}",
+        report.samples_collected,
+        report.key_parameters.join(", ")
+    );
+
+    // Ask for a configuration for a read-heavy workload (90% reads) —
+    // the regime where Cassandra's default (size-tiered, write-oriented)
+    // configuration leaves the most on the table.
+    let read_ratio = 0.9;
+    let best = tuner.optimize(read_ratio).expect("tuner is fitted");
+    println!(
+        "GA searched with {} surrogate evaluations; predicted {:.0} ops/s",
+        best.surrogate_evaluations, best.predicted_throughput
+    );
+    println!(
+        "suggested: compaction={:?} CW={} FCZ={}MB MT={:.2} CC={}",
+        best.config.compaction_method,
+        best.config.concurrent_writes,
+        best.config.file_cache_size_mb,
+        best.config.memtable_cleanup_threshold,
+        best.config.concurrent_compactors,
+    );
+
+    // Validate on the actual (simulated) datastore.
+    let default_tput = tuner.context().measure(read_ratio, &EngineConfig::default());
+    let tuned_tput = tuner.context().measure(read_ratio, &best.config);
+    println!(
+        "measured: default {:.0} ops/s -> tuned {:.0} ops/s ({:+.1}%)",
+        default_tput,
+        tuned_tput,
+        (tuned_tput / default_tput - 1.0) * 100.0
+    );
+}

@@ -1,0 +1,181 @@
+//! Cross-crate integration tests: workload generation feeding the engine,
+//! characterization closing the loop, and cluster composition.
+
+use rafiki_engine::{
+    run_benchmark, CompactionMethod, Engine, EngineConfig, ServerSpec,
+};
+use rafiki_workload::{
+    BenchmarkSpec, MgRastModel, WorkloadGenerator, WorkloadSpec,
+};
+
+fn quick_bench() -> BenchmarkSpec {
+    BenchmarkSpec {
+        duration_secs: 2.5,
+        warmup_secs: 0.5,
+        clients: 32,
+        sample_window_secs: 0.5,
+    }
+}
+
+fn workload(rr: f64, seed: u64) -> WorkloadGenerator {
+    let spec = WorkloadSpec {
+        initial_keys: 40_000,
+        ..WorkloadSpec::with_read_ratio(rr)
+    };
+    WorkloadGenerator::new(spec, seed)
+}
+
+fn engine(cfg: EngineConfig) -> Engine {
+    let mut e = Engine::new(cfg, ServerSpec::default());
+    e.preload(40_000, 1_000);
+    e
+}
+
+#[test]
+fn default_config_prefers_writes_over_reads() {
+    // The core premise of Figure 4: throughput decreases with read share
+    // under Cassandra's default (size-tiered, write-oriented) settings.
+    let mut read_engine = engine(EngineConfig::default());
+    let reads = run_benchmark(&mut read_engine, &mut workload(1.0, 1), &quick_bench());
+    let mut write_engine = engine(EngineConfig::default());
+    let writes = run_benchmark(&mut write_engine, &mut workload(0.0, 1), &quick_bench());
+    assert!(
+        writes.avg_ops_per_sec > reads.avg_ops_per_sec * 1.1,
+        "writes {:.0} vs reads {:.0}",
+        writes.avg_ops_per_sec,
+        reads.avg_ops_per_sec
+    );
+}
+
+#[test]
+fn leveled_compaction_helps_read_heavy_workloads() {
+    let mut stcs = engine(EngineConfig::default());
+    let st = run_benchmark(&mut stcs, &mut workload(0.95, 2), &quick_bench());
+    let mut cfg = EngineConfig::default();
+    cfg.compaction_method = CompactionMethod::Leveled;
+    let mut lcs = engine(cfg);
+    let lv = run_benchmark(&mut lcs, &mut workload(0.95, 2), &quick_bench());
+    assert!(
+        lv.avg_ops_per_sec > st.avg_ops_per_sec,
+        "leveled {:.0} should beat size-tiered {:.0} for read-heavy",
+        lv.avg_ops_per_sec,
+        st.avg_ops_per_sec
+    );
+}
+
+#[test]
+fn workload_parameters_flow_through_to_measured_mix() {
+    for rr in [0.2, 0.6, 0.9] {
+        let mut e = engine(EngineConfig::default());
+        let result = run_benchmark(&mut e, &mut workload(rr, 3), &quick_bench());
+        assert!(
+            (result.observed_read_ratio() - rr).abs() < 0.05,
+            "requested RR {rr}, observed {}",
+            result.observed_read_ratio()
+        );
+    }
+}
+
+#[test]
+fn compaction_runs_under_sustained_writes() {
+    let mut e = engine(EngineConfig::default());
+    let _ = run_benchmark(&mut e, &mut workload(0.0, 4), &quick_bench());
+    assert!(e.metrics().flushes > 0, "no flush in a write-heavy run");
+    // SSTable count is bounded: compaction keeps up at least partially.
+    assert!(e.table_count() < 60, "{} tables piled up", e.table_count());
+}
+
+#[test]
+fn mgrast_trace_drives_distinct_benchmarks() {
+    // Regime changes in the trace translate into measurably different
+    // engine behaviour.
+    let trace = MgRastModel { days: 1, seed: 9, ..MgRastModel::default() }.generate();
+    let read_heavy = trace
+        .windows
+        .iter()
+        .find(|w| w.read_ratio > 0.85)
+        .expect("trace has a read-heavy window");
+    let write_heavy = trace
+        .windows
+        .iter()
+        .find(|w| w.read_ratio < 0.2)
+        .expect("trace has a write-heavy window");
+
+    let measure = |rr: f64| {
+        let mut e = engine(EngineConfig::default());
+        let r = run_benchmark(&mut e, &mut workload(rr, 5), &quick_bench());
+        (r.avg_ops_per_sec, r.observed_read_ratio())
+    };
+    let (t_read, rr_read) = measure(read_heavy.read_ratio);
+    let (t_write, rr_write) = measure(write_heavy.read_ratio);
+    assert!(rr_read > rr_write);
+    assert!(t_write > t_read, "default favours the write-heavy window");
+}
+
+#[test]
+fn scans_and_deletes_flow_through_the_full_stack() {
+    use rafiki_workload::{Key, Operation, ReplaySource};
+    let mut ops = Vec::new();
+    for i in 0..200u64 {
+        ops.push(Operation::scan(Key(i * 97 % 30_000), 50));
+        ops.push(Operation::delete(Key(i)));
+        ops.push(Operation::read(Key(i * 13 % 40_000)));
+        ops.push(Operation::insert(Key(50_000 + i), 700));
+    }
+    let mut e = engine(EngineConfig::default());
+    let mut replay = ReplaySource::new(ops);
+    let result = run_benchmark(&mut e, &mut replay, &quick_bench());
+    assert!(result.total_ops > 500);
+    // Scans and reads both count as reads; deletes and inserts as writes.
+    // The completed mix can skew toward the cheaper half under closed-loop
+    // pacing, so the band is wide.
+    assert!(
+        (0.25..=0.75).contains(&result.observed_read_ratio()),
+        "observed RR {}",
+        result.observed_read_ratio()
+    );
+    assert!(result.p99_latency_ms >= result.mean_latency_ms);
+}
+
+#[test]
+fn ycsb_presets_run_and_rank_sensibly() {
+    use rafiki_workload::YcsbPreset;
+    let throughput = |preset: YcsbPreset| {
+        let mut e = engine(EngineConfig::default());
+        let mut wl = WorkloadGenerator::new(preset.spec(40_000), 11);
+        run_benchmark(&mut e, &mut wl, &quick_bench()).avg_ops_per_sec
+    };
+    let a = throughput(YcsbPreset::A);
+    let c = throughput(YcsbPreset::C);
+    assert!(a > 1_000.0 && c > 1_000.0);
+    // A (update-heavy) beats C (read-only) on the write-oriented defaults.
+    assert!(
+        a > c,
+        "YCSB-A ({a:.0} ops/s) should outrun read-only YCSB-C ({c:.0} ops/s) on defaults"
+    );
+}
+
+#[test]
+fn scylla_engine_fluctuates_more_than_cassandra() {
+    // Figure 10: ScyllaDB's internal auto-tuner makes its throughput vary
+    // in stationary conditions; Cassandra's stays comparatively flat.
+    let bench = BenchmarkSpec {
+        duration_secs: 8.0,
+        warmup_secs: 1.0,
+        clients: 32,
+        sample_window_secs: 1.0,
+    };
+    let mut cass = engine(EngineConfig::default());
+    let c = run_benchmark(&mut cass, &mut workload(0.7, 6), &bench);
+
+    let mut scylla = rafiki_engine::scylla_engine(&EngineConfig::default(), ServerSpec::default());
+    scylla.preload(40_000, 1_000);
+    let s = run_benchmark(&mut scylla, &mut workload(0.7, 6), &bench);
+
+    assert!(
+        s.throughput_cv() > c.throughput_cv(),
+        "scylla CV {:.3} should exceed cassandra CV {:.3}",
+        s.throughput_cv(),
+        c.throughput_cv()
+    );
+}
