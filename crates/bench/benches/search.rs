@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use rafiki_ga::{GaConfig, GeneSpec, Optimizer, SearchSpace};
-use rafiki_neural::{Dataset, SurrogateConfig, SurrogateModel, TrainConfig};
+use rafiki_neural::{Dataset, Matrix, SurrogateConfig, SurrogateModel, TrainConfig};
 
 fn key_param_ga_space() -> SearchSpace {
     SearchSpace::new(vec![
@@ -60,6 +60,27 @@ fn bench_ga_search(c: &mut Criterion) {
                 let mut row = vec![0.9];
                 row.extend_from_slice(genome);
                 surrogate.predict(&row)
+            })
+        })
+    });
+    // The same search through `run_batch`: each generation is scored with
+    // one `predict_batch` matrix pass per ensemble member. Identical
+    // trajectory (same seed, same RNG call order) — only the evaluation
+    // path differs, so the ratio against `ga_full_search_3350_evals` is
+    // the batch speedup on the §4.8 claim.
+    group.bench_function("ga_full_search_batch_3350_evals", |b| {
+        b.iter(|| {
+            let optimizer = Optimizer::new(space.clone(), GaConfig::default());
+            optimizer.run_batch(|population| {
+                let rows: Vec<Vec<f64>> = population
+                    .iter()
+                    .map(|genome| {
+                        let mut row = vec![0.9];
+                        row.extend_from_slice(genome);
+                        row
+                    })
+                    .collect();
+                surrogate.predict_batch(&Matrix::from_rows(&rows))
             })
         })
     });

@@ -3,7 +3,7 @@
 //! including the ensemble-size ablation called out in DESIGN.md §5.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rafiki_neural::{Dataset, SurrogateConfig, SurrogateModel, TrainConfig};
+use rafiki_neural::{Dataset, Matrix, SurrogateConfig, SurrogateModel, TrainConfig};
 
 /// A deterministic synthetic response surface shaped like the tuning
 /// problem: 6 inputs (RR + 5 params), one throughput output.
@@ -52,6 +52,49 @@ fn bench_prediction_latency(c: &mut Criterion) {
     });
 }
 
+/// Scalar-vs-batch comparison on one GA generation's worth of genomes
+/// (default population = 50): per-row `predict` calls against a single
+/// `predict_batch` matrix pass. The ratio is the per-generation speedup
+/// the batched search path gets from the `Surrogate` trait.
+fn bench_population_eval(c: &mut Criterion) {
+    let data = synthetic_dataset(200);
+    let model = SurrogateModel::fit(
+        &data,
+        &SurrogateConfig {
+            ensemble_size: 20,
+            train: training_config(60),
+            ..SurrogateConfig::default()
+        },
+    );
+    let rows: Vec<Vec<f64>> = (0..50usize)
+        .map(|i| {
+            vec![
+                (i % 11) as f64 / 10.0,
+                (i % 2) as f64,
+                2.0 + 126.0 * (((i * 37) % 100) as f64 / 99.0),
+                32.0 + 480.0 * (((i * 53) % 100) as f64 / 99.0),
+                0.05 + 0.85 * (((i * 71) % 100) as f64 / 99.0),
+                1.0 + 15.0 * (((i * 13) % 100) as f64 / 99.0),
+            ]
+        })
+        .collect();
+    let matrix = Matrix::from_rows(&rows);
+    let mut group = c.benchmark_group("surrogate_population_eval");
+    group.bench_function("scalar_predict_x50", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for row in &rows {
+                acc += model.predict(std::hint::black_box(row));
+            }
+            std::hint::black_box(acc)
+        })
+    });
+    group.bench_function("batch_predict_50", |b| {
+        b.iter(|| std::hint::black_box(model.predict_batch(std::hint::black_box(&matrix))))
+    });
+    group.finish();
+}
+
 fn bench_ensemble_training(c: &mut Criterion) {
     let data = synthetic_dataset(200);
     let mut group = c.benchmark_group("surrogate_training");
@@ -74,5 +117,10 @@ fn bench_ensemble_training(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_prediction_latency, bench_ensemble_training);
+criterion_group!(
+    benches,
+    bench_prediction_latency,
+    bench_population_eval,
+    bench_ensemble_training
+);
 criterion_main!(benches);

@@ -1,20 +1,23 @@
 //! Surrogate ablation (Related Work §5): the paper argues its DNN
 //! surrogate generalizes where nearest-neighbour interpolation (iTuned /
 //! OtterTune style) merely interpolates, and where a univariate decision
-//! tree underfits (§3.7.2). This experiment pits all three against the
-//! same held-out splits.
+//! tree underfits (§3.7.2). This experiment pits every model family
+//! against the same held-out splits, all evaluated uniformly through the
+//! [`rafiki_neural::Surrogate`] trait (no per-model code at call sites).
 
 use super::common::{
     key_param_space, load_or_collect_dataset, paper_collection_plan, paper_surrogate_config,
+    surrogate_mape,
 };
 use super::Finding;
-use rafiki_neural::{KnnRegressor, RegressionTree, SurrogateModel, TreeConfig};
+use rafiki_neural::{
+    KnnRegressor, RegressionTree, Surrogate, SurrogateConfig, SurrogateModel, TreeConfig,
+};
 
-fn mape_of(predicted: &[f64], test: &rafiki_neural::Dataset) -> f64 {
-    rafiki_stats::descriptive::mape(predicted, test.targets())
-}
+const MODEL_NAMES: [&str; 4] = ["DNN ensemble", "single net", "kNN (k=5)", "decision tree"];
 
-/// Runs the DNN vs k-NN vs regression-tree comparison.
+/// Runs the DNN-ensemble vs single-net vs k-NN vs regression-tree
+/// comparison.
 pub fn run(quick: bool) -> Vec<Finding> {
     let ctx = if quick {
         crate::quick_context()
@@ -27,7 +30,7 @@ pub fn run(quick: bool) -> Vec<Finding> {
     let training = dataset.to_training_data();
     let trials: u64 = if quick { 1 } else { 3 };
 
-    let mut sums = [[0.0f64; 3]; 2]; // [dim][model: dnn, knn, tree]
+    let mut sums = [[0.0f64; MODEL_NAMES.len()]; 2]; // [dim][model]
     for trial in 0..trials {
         let seed = crate::EXPERIMENT_SEED + 97 * trial;
         let splits = [
@@ -39,14 +42,20 @@ pub fn run(quick: bool) -> Vec<Finding> {
         for (d, (train, test)) in splits.iter().enumerate() {
             let mut cfg = paper_surrogate_config(quick);
             cfg.seed = seed;
-            let dnn = SurrogateModel::fit(train, &cfg);
-            sums[d][0] += dnn.evaluate(test).mape;
-            let knn = KnnRegressor::fit(train, 5);
-            sums[d][1] += mape_of(&knn.predict_dataset(test), test);
-            let tree = RegressionTree::fit(train, &TreeConfig::default());
-            let tree_pred: Vec<f64> =
-                (0..test.len()).map(|i| tree.predict(test.row(i))).collect();
-            sums[d][2] += mape_of(&tree_pred, test);
+            let single_cfg = SurrogateConfig {
+                hidden: cfg.hidden.clone(),
+                train: cfg.train,
+                ..SurrogateConfig::single_net(seed)
+            };
+            let models: Vec<Box<dyn Surrogate>> = vec![
+                Box::new(SurrogateModel::fit(train, &cfg)),
+                Box::new(SurrogateModel::fit(train, &single_cfg)),
+                Box::new(KnnRegressor::fit(train, 5)),
+                Box::new(RegressionTree::fit(train, &TreeConfig::default())),
+            ];
+            for (m, model) in models.iter().enumerate() {
+                sums[d][m] += surrogate_mape(model.as_ref(), test);
+            }
         }
     }
     let t = trials as f64;
@@ -54,20 +63,18 @@ pub fn run(quick: bool) -> Vec<Finding> {
     let mut rows = Vec::new();
     for (d, label) in labels.iter().enumerate() {
         println!(
-            "[surrogates] {label}: DNN {:.1}%  kNN {:.1}%  tree {:.1}%",
+            "[surrogates] {label}: DNN {:.1}%  1-net {:.1}%  kNN {:.1}%  tree {:.1}%",
             sums[d][0] / t,
             sums[d][1] / t,
-            sums[d][2] / t
+            sums[d][2] / t,
+            sums[d][3] / t
         );
-        rows.push(vec![
-            label.to_string(),
-            format!("{:.1}%", sums[d][0] / t),
-            format!("{:.1}%", sums[d][1] / t),
-            format!("{:.1}%", sums[d][2] / t),
-        ]);
+        let mut row = vec![label.to_string()];
+        row.extend((0..MODEL_NAMES.len()).map(|m| format!("{:.1}%", sums[d][m] / t)));
+        rows.push(row);
     }
-    let table =
-        crate::markdown_table(&["holdout", "DNN ensemble", "kNN (k=5)", "decision tree"], &rows);
+    let headers = ["holdout", MODEL_NAMES[0], MODEL_NAMES[1], MODEL_NAMES[2], MODEL_NAMES[3]];
+    let table = crate::markdown_table(&headers, &rows);
     crate::write_output("ablation_surrogates.md", &table);
     println!("{table}");
 
@@ -76,13 +83,15 @@ pub fn run(quick: bool) -> Vec<Finding> {
         "surrogate family comparison (MAPE, unseen configs / workloads)",
         "DNN surrogate generalizes; nearest-neighbour interpolates; univariate tree underfits",
         format!(
-            "DNN {:.1}% / {:.1}%, kNN {:.1}% / {:.1}%, tree {:.1}% / {:.1}%",
+            "DNN {:.1}% / {:.1}%, 1-net {:.1}% / {:.1}%, kNN {:.1}% / {:.1}%, tree {:.1}% / {:.1}%",
             sums[0][0] / t,
             sums[1][0] / t,
             sums[0][1] / t,
             sums[1][1] / t,
             sums[0][2] / t,
-            sums[1][2] / t
+            sums[1][2] / t,
+            sums[0][3] / t,
+            sums[1][3] / t
         ),
     )]
 }

@@ -5,7 +5,7 @@
 
 use rafiki::{CollectionPlan, ConfigSearchSpace, EvalContext, PerfDataset, PerfSample};
 use rafiki_engine::{param_catalog, EngineConfig, ParamId};
-use rafiki_neural::{SurrogateConfig, TrainConfig};
+use rafiki_neural::{Dataset, Surrogate, SurrogateConfig, TrainConfig};
 
 /// The search space over the paper's five key Cassandra parameters.
 pub fn key_param_space() -> ConfigSearchSpace {
@@ -60,6 +60,14 @@ pub fn paper_surrogate_config(quick: bool) -> SurrogateConfig {
         },
         seed: crate::EXPERIMENT_SEED,
     }
+}
+
+/// MAPE (%) of any [`Surrogate`] on a held-out dataset, computed through
+/// the batched trait path (one matrix pass per model). The ablation
+/// binaries evaluate every model family through this one helper, so no
+/// per-model code is left at call sites.
+pub fn surrogate_mape(model: &dyn Surrogate, test: &Dataset) -> f64 {
+    rafiki_neural::surrogate::evaluate_on(model, test).mape
 }
 
 fn dataset_cache_path(tag: &str) -> std::path::PathBuf {

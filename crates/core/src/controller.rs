@@ -146,7 +146,11 @@ impl<'t> OnlineController<'t> {
             let space = self.tuner.space().ok_or(TunerError::NotFitted)?;
             let candidate = self.tuner.optimize(target_rr)?;
             let active_genome = space.genome_of(&self.active);
-            let active_pred = self.tuner.predict(read_ratio, &active_genome)?;
+            // Predictions ride the batched surrogate path (predict_many),
+            // so controller decisions exercise the same code as the GA.
+            let active_pred = self
+                .tuner
+                .predict_many(read_ratio, std::slice::from_ref(&active_genome))?[0];
             let gain = if active_pred > 0.0 {
                 (candidate.predicted_throughput - active_pred) / active_pred
             } else {
@@ -162,7 +166,8 @@ impl<'t> OnlineController<'t> {
         } else {
             let space = self.tuner.space().ok_or(TunerError::NotFitted)?;
             let genome = space.genome_of(&self.active);
-            self.active_predicted = self.tuner.predict(read_ratio, &genome)?;
+            self.active_predicted =
+                self.tuner.predict_many(read_ratio, std::slice::from_ref(&genome))?[0];
         }
 
         Ok(WindowDecision {

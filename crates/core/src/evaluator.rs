@@ -120,29 +120,73 @@ impl EvalContext {
     /// Measures many points in parallel across OS threads (each engine is
     /// an independent deterministic simulation, so results are identical
     /// to the sequential order).
+    ///
+    /// # Panics
+    ///
+    /// Panics when a measurement worker panics (the panic is surfaced
+    /// as an error by [`parallel_indexed`], not a poisoned-lock abort).
     pub fn measure_many(&self, points: &[(f64, EngineConfig)]) -> Vec<f64> {
-        let workers = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4);
-        let mut results = vec![0.0f64; points.len()];
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        let results_mx = std::sync::Mutex::new(&mut results);
-        crossbeam::thread::scope(|s| {
-            for _ in 0..workers.min(points.len().max(1)) {
-                s.spawn(|_| loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= points.len() {
-                        break;
-                    }
-                    let (rr, cfg) = &points[i];
-                    let v = self.measure(*rr, cfg);
-                    results_mx.lock().expect("poisoned results lock")[i] = v;
-                });
-            }
+        parallel_indexed(points.len(), |i| {
+            let (rr, cfg) = &points[i];
+            self.measure(*rr, cfg)
         })
-        .expect("measurement thread panicked");
-        results
+        .expect("measurement worker panicked")
     }
+}
+
+/// Runs `f(0)..f(n-1)` across OS threads. Workers claim indices from a
+/// shared atomic counter, collect `(index, value)` pairs locally, and the
+/// results are scattered back into index order after the scope joins — no
+/// shared result vector behind a lock, so a panicking worker cannot
+/// poison anything. A panic in any worker surfaces as `Err` instead.
+pub(crate) fn parallel_indexed<T, F>(n: usize, f: F) -> Result<Vec<T>, String>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = std::thread::available_parallelism()
+        .map(|w| w.get())
+        .unwrap_or(4)
+        .min(n.max(1));
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let (f_ref, next_ref) = (&f, &next);
+    let joined: Vec<Result<Vec<(usize, T)>, String>> = crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(move |_| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next_ref.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f_ref(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .map_err(|_| "evaluation worker panicked".to_string())
+            })
+            .collect()
+    })
+    .map_err(|_| "evaluation scope panicked".to_string())?;
+
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    for local in joined {
+        for (i, v) in local? {
+            slots[i] = Some(v);
+        }
+    }
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, v)| v.ok_or_else(|| format!("missing result for index {i}")))
+        .collect()
 }
 
 #[cfg(test)]
@@ -166,6 +210,25 @@ mod tests {
         for (i, &(rr, _)) in points.iter().enumerate() {
             assert_eq!(parallel[i], ctx.measure(rr, &cfg));
         }
+    }
+
+    #[test]
+    fn worker_panic_surfaces_as_error_not_poisoned_lock() {
+        let res = parallel_indexed(8, |i| {
+            assert!(i != 3, "boom");
+            i * 2
+        });
+        let err = res.unwrap_err();
+        assert!(err.contains("panicked"), "unexpected error: {err}");
+        // A clean run over the same range still succeeds.
+        let ok = parallel_indexed(8, |i| i * 2).unwrap();
+        assert_eq!(ok, vec![0, 2, 4, 6, 8, 10, 12, 14]);
+    }
+
+    #[test]
+    fn parallel_indexed_handles_empty_input() {
+        let out: Vec<usize> = parallel_indexed(0, |i| i).unwrap();
+        assert!(out.is_empty());
     }
 
     #[test]

@@ -7,7 +7,7 @@ use crate::screening::{identify_key_parameters, ScreeningConfig, ScreeningReport
 use crate::search_space::ConfigSearchSpace;
 use rafiki_engine::{param_catalog, EngineConfig, ParamId, ParamInfo};
 use rafiki_ga::{GaConfig, Optimizer};
-use rafiki_neural::{SurrogateConfig, SurrogateModel};
+use rafiki_neural::{Matrix, Surrogate, SurrogateConfig, SurrogateModel};
 use serde::{Deserialize, Serialize};
 
 /// Tuner-level errors.
@@ -258,9 +258,16 @@ impl RafikiTuner {
             ..self.cfg.ga
         };
         let optimizer = Optimizer::new(space.to_ga_space(), ga_cfg);
-        let result = optimizer.run(|genome| {
-            let row = space.feature_row(read_ratio, genome);
-            surrogate.predict(&row)
+        // Batch-first hot path: assemble one feature matrix per generation
+        // and score it with a single pass through the surrogate trait
+        // object (one matrix–matrix product per ensemble member).
+        let surrogate: &dyn Surrogate = surrogate;
+        let result = optimizer.run_batch(|population| {
+            let rows: Vec<Vec<f64>> = population
+                .iter()
+                .map(|g| space.feature_row(read_ratio, g))
+                .collect();
+            surrogate.predict_batch(&Matrix::from_rows(&rows))
         });
         Ok(OptimizedConfig {
             config: space.config_from_genome(&result.best_genome),
@@ -281,7 +288,35 @@ impl RafikiTuner {
             (Some(s), Some(m)) => (s, m),
             _ => return Err(TunerError::NotFitted),
         };
+        let surrogate: &dyn Surrogate = surrogate;
         Ok(surrogate.predict(&space.feature_row(read_ratio, genome)))
+    }
+
+    /// Predicts throughput for many genomes at one read ratio with a
+    /// single batched surrogate pass — the same path
+    /// [`RafikiTuner::optimize_seeded`] runs per GA generation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TunerError::NotFitted`] before [`RafikiTuner::fit`].
+    pub fn predict_many(
+        &self,
+        read_ratio: f64,
+        genomes: &[Vec<f64>],
+    ) -> Result<Vec<f64>, TunerError> {
+        let (space, surrogate) = match (&self.space, &self.surrogate) {
+            (Some(s), Some(m)) => (s, m),
+            _ => return Err(TunerError::NotFitted),
+        };
+        if genomes.is_empty() {
+            return Ok(Vec::new());
+        }
+        let rows: Vec<Vec<f64>> = genomes
+            .iter()
+            .map(|g| space.feature_row(read_ratio, g))
+            .collect();
+        let surrogate: &dyn Surrogate = surrogate;
+        Ok(surrogate.predict_batch(&Matrix::from_rows(&rows)))
     }
 }
 
@@ -339,6 +374,23 @@ mod tests {
             tuned_lat <= default_lat * 1.05,
             "latency-tuned config ({tuned_lat:.2} ms) should not be slower than default ({default_lat:.2} ms)"
         );
+    }
+
+    #[test]
+    fn predict_many_matches_scalar_predict() {
+        let ctx = EvalContext::small();
+        let mut tuner = RafikiTuner::new(ctx, TunerConfig::fast());
+        tuner.fit().expect("fit succeeds");
+        let base = tuner.space().unwrap().default_genome();
+        let mut other = base.clone();
+        other[0] = 1.0 - other[0].min(1.0);
+        let genomes = vec![base, other];
+        let batch = tuner.predict_many(0.7, &genomes).unwrap();
+        assert_eq!(batch.len(), 2);
+        for (b, g) in batch.iter().zip(&genomes) {
+            assert_eq!(*b, tuner.predict(0.7, g).unwrap());
+        }
+        assert!(tuner.predict_many(0.7, &[]).unwrap().is_empty());
     }
 
     #[test]

@@ -4,8 +4,13 @@
 //! workload fixed; crossover interpolates between parents ("a
 //! random-weighted average between two points in the population", which
 //! enforces interpolation rather than extrapolation); integer and bound
-//! constraints are handled by penalizing infeasible genomes (after
-//! Deb, 2000); the search uses ~3,350 surrogate calls per workload.
+//! constraints are handled by Deb's feasibility rule (Deb, 2000): any
+//! feasible genome outranks any infeasible one, and infeasible genomes
+//! rank by violation alone (a multiplicative penalty is kept as
+//! [`ConstraintHandling::Penalty`] for fidelity runs). The search uses
+//! ~3,350 surrogate calls per workload, and [`Optimizer::run_batch`]
+//! scores each generation with a single population-batched evaluator
+//! call so a surrogate can answer it in one matrix pass.
 //!
 //! # Example
 //!
@@ -34,6 +39,24 @@ pub use space::{GeneSpec, SearchSpace};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+
+/// How constraint violations rank infeasible genomes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ConstraintHandling {
+    /// Deb's feasibility rule (Deb, 2000): every feasible genome outranks
+    /// every infeasible one, and infeasible genomes are ranked among
+    /// themselves by violation alone — their raw fitness is ignored. The
+    /// default.
+    #[default]
+    DebRule,
+    /// The seed implementation's multiplicative penalty
+    /// (`raw - penalty·(1+viol)·max(|raw|, 1)`, weighted by
+    /// [`GaConfig::penalty`]), kept for fidelity runs. For legitimately
+    /// negative fitness values (negated latency objectives) this can leave
+    /// an infeasible genome outranking a feasible one; prefer
+    /// [`ConstraintHandling::DebRule`].
+    Penalty,
+}
 
 /// Crossover operator variants.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -67,8 +90,12 @@ pub struct GaConfig {
     pub elitism: usize,
     /// Tournament size for parent selection.
     pub tournament: usize,
-    /// Penalty weight applied per unit of constraint violation.
+    /// Penalty weight applied per unit of constraint violation (only used
+    /// by [`ConstraintHandling::Penalty`]).
     pub penalty: f64,
+    /// Constraint-handling scheme for infeasible genomes.
+    #[serde(default)]
+    pub constraint_handling: ConstraintHandling,
     /// Crossover operator.
     pub crossover: Crossover,
     /// RNG seed.
@@ -86,9 +113,22 @@ impl Default for GaConfig {
             elitism: 2,
             tournament: 3,
             penalty: 1.0,
+            constraint_handling: ConstraintHandling::DebRule,
             crossover: Crossover::Interpolate,
             seed: 0,
         }
+    }
+}
+
+/// Total-order fitness comparison for ranking: ordinary values compare by
+/// [`f64::total_cmp`] and NaN sinks below everything (including
+/// `-inf`) instead of panicking mid-search.
+fn cmp_fitness(a: f64, b: f64) -> std::cmp::Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => std::cmp::Ordering::Equal,
+        (true, false) => std::cmp::Ordering::Less,
+        (false, true) => std::cmp::Ordering::Greater,
+        (false, false) => a.total_cmp(&b),
     }
 }
 
@@ -136,40 +176,56 @@ impl Optimizer {
     }
 
     /// Runs the GA, maximizing `fitness`. The fitness function is always
-    /// called on raw (possibly infeasible) genomes; penalties are applied
-    /// on top of its return value, mirroring the paper's scheme where
-    /// infeasible configuration files score a penalized fitness.
+    /// called on raw (possibly infeasible) genomes; constraint handling
+    /// (see [`ConstraintHandling`]) is applied on top of its return value,
+    /// mirroring the paper's scheme where infeasible configuration files
+    /// score a penalized fitness.
+    ///
+    /// This is a scalar shim over [`Optimizer::run_batch`]: `fitness` is
+    /// called once per genome in population order, so both entry points
+    /// produce identical trajectories for a fixed seed.
     pub fn run<F: FnMut(&[f64]) -> f64>(&self, mut fitness: F) -> GaResult {
+        self.run_batch(|population| {
+            population.iter().map(|g| fitness(g.as_slice())).collect()
+        })
+    }
+
+    /// Runs the GA with a population-batched evaluator, maximizing
+    /// `fitness`. The evaluator receives a whole generation at once and
+    /// must return one raw fitness per genome, in order — this is the
+    /// hot path that lets a surrogate model score a generation with one
+    /// matrix–matrix pass per network instead of per-genome calls.
+    ///
+    /// RNG call order is identical to [`Optimizer::run`], so the two
+    /// entry points return bit-identical results for the same
+    /// deterministic fitness function and seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the evaluator returns a vector whose length differs
+    /// from the population it was given.
+    pub fn run_batch<F: FnMut(&[Vec<f64>]) -> Vec<f64>>(&self, mut fitness: F) -> GaResult {
         let cfg = &self.cfg;
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let mut evaluations = 0usize;
 
-        let score = |genome: &[f64], evals: &mut usize, f: &mut F| -> f64 {
-            *evals += 1;
-            let raw = f(genome);
-            let viol = self.space.violation(genome);
-            if viol > 0.0 {
-                raw - cfg.penalty * (1.0 + viol) * raw.abs().max(1.0)
-            } else {
-                raw
-            }
+        let score_all = |pop: &[Vec<f64>], evals: &mut usize, f: &mut F| -> Vec<f64> {
+            *evals += pop.len();
+            let raw = f(pop);
+            assert_eq!(raw.len(), pop.len(), "batch evaluator length mismatch");
+            self.penalize(pop, raw)
         };
 
         // Initial population: uniformly random feasible genomes.
         let mut population: Vec<Vec<f64>> =
             (0..cfg.population).map(|_| self.space.sample(&mut rng)).collect();
-        let mut scores: Vec<f64> = population
-            .iter()
-            .map(|g| score(g, &mut evaluations, &mut fitness))
-            .collect();
+        let mut scores = score_all(&population, &mut evaluations, &mut fitness);
 
         let mut history = Vec::with_capacity(cfg.generations);
         for _gen in 0..cfg.generations {
-            // Rank current population (descending score).
+            // Rank current population (descending score, NaN last).
             let mut order: Vec<usize> = (0..population.len()).collect();
-            order.sort_by(|&a, &b| {
-                scores[b].partial_cmp(&scores[a]).expect("NaN fitness")
-            });
+            order.sort_by(|&a, &b| cmp_fitness(scores[b], scores[a]));
             history.push(scores[order[0]]);
 
             let mut next: Vec<Vec<f64>> = Vec::with_capacity(cfg.population);
@@ -188,21 +244,20 @@ impl Optimizer {
                 next.push(self.mutate(child, &mut rng));
             }
             population = next;
-            scores = population
-                .iter()
-                .map(|g| score(g, &mut evaluations, &mut fitness))
-                .collect();
+            scores = score_all(&population, &mut evaluations, &mut fitness);
         }
 
         // Extract the best, repaired onto the feasible set and re-scored.
         let (best_idx, _) = scores
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("NaN fitness"))
+            .max_by(|a, b| cmp_fitness(*a.1, *b.1))
             .expect("non-empty population");
         let best_genome = self.space.repair(&population[best_idx]);
         evaluations += 1;
-        let best_fitness = fitness(&best_genome);
+        let finals = fitness(std::slice::from_ref(&best_genome));
+        assert_eq!(finals.len(), 1, "batch evaluator length mismatch");
+        let best_fitness = finals[0];
         history.push(best_fitness);
         GaResult {
             best_genome,
@@ -212,11 +267,47 @@ impl Optimizer {
         }
     }
 
+    /// Applies the configured constraint handling to one generation's raw
+    /// fitness values, vectorized over the population.
+    fn penalize(&self, population: &[Vec<f64>], raw: Vec<f64>) -> Vec<f64> {
+        let viols: Vec<f64> = population.iter().map(|g| self.space.violation(g)).collect();
+        match self.cfg.constraint_handling {
+            ConstraintHandling::Penalty => raw
+                .into_iter()
+                .zip(&viols)
+                .map(|(r, &v)| {
+                    if v > 0.0 {
+                        r - self.cfg.penalty * (1.0 + v) * r.abs().max(1.0)
+                    } else {
+                        r
+                    }
+                })
+                .collect(),
+            ConstraintHandling::DebRule => {
+                // Anchor infeasible genomes strictly below the generation's
+                // worst finite feasible fitness, ranked by violation alone.
+                // With no finite feasible genome this generation, rank
+                // infeasible ones below zero by violation.
+                let worst_feasible = raw
+                    .iter()
+                    .zip(&viols)
+                    .filter(|(r, &v)| v == 0.0 && r.is_finite())
+                    .map(|(&r, _)| r)
+                    .fold(f64::INFINITY, f64::min);
+                let anchor = if worst_feasible.is_finite() { worst_feasible } else { 0.0 };
+                raw.into_iter()
+                    .zip(&viols)
+                    .map(|(r, &v)| if v > 0.0 { anchor - v } else { r })
+                    .collect()
+            }
+        }
+    }
+
     fn tournament_select(&self, scores: &[f64], rng: &mut StdRng) -> usize {
         let mut best = rng.gen_range(0..scores.len());
         for _ in 1..self.cfg.tournament {
             let c = rng.gen_range(0..scores.len());
-            if scores[c] > scores[best] {
+            if cmp_fitness(scores[c], scores[best]) == std::cmp::Ordering::Greater {
                 best = c;
             }
         }
@@ -246,7 +337,19 @@ impl Optimizer {
                         // no sense for unordered options.
                         *g = spec.sample(rng);
                     }
-                    _ => {
+                    GeneSpec::Int { .. } => {
+                        // Feasibility-preserving integer mutation (the
+                        // standard companion to Deb's rule): nudge, then
+                        // round, so mutation keeps introducing new *integer*
+                        // values instead of leaving integrality reachable
+                        // only through the initial samples.
+                        let range = (spec.hi() - spec.lo()).max(1e-12);
+                        let step = self.cfg.mutation_scale * range;
+                        let noise: f64 =
+                            rng.gen_range(-0.5..0.5) + rng.gen_range(-0.5..0.5);
+                        *g = (*g + noise * step).round().clamp(spec.lo(), spec.hi());
+                    }
+                    GeneSpec::Real { .. } => {
                         let range = (spec.hi() - spec.lo()).max(1e-12);
                         let step = self.cfg.mutation_scale * range;
                         // Triangular noise around 0 (sum of two uniforms).
@@ -436,6 +539,103 @@ mod tests {
         let cfg = GaConfig::default();
         let evals = cfg.population * (cfg.generations + 1) + 1;
         assert!((3_000..3_700).contains(&evals), "evals = {evals}");
+    }
+
+    #[test]
+    fn run_batch_matches_run_bit_for_bit() {
+        let space = SearchSpace::new(vec![
+            GeneSpec::Int { min: 0, max: 10 },
+            GeneSpec::Real { min: -1.0, max: 1.0 },
+        ]);
+        let cfg = GaConfig {
+            population: 20,
+            generations: 12,
+            seed: 11,
+            ..GaConfig::default()
+        };
+        let f = |g: &[f64]| -((g[0] - 7.0).powi(2)) - (g[1] - 0.25).powi(2);
+        let scalar = Optimizer::new(space.clone(), cfg).run(f);
+        let batch = Optimizer::new(space, cfg)
+            .run_batch(|pop| pop.iter().map(|g| f(g.as_slice())).collect());
+        assert_eq!(scalar, batch);
+    }
+
+    #[test]
+    fn batch_evaluator_sees_whole_generations() {
+        let space = unit_space(2);
+        let cfg = GaConfig {
+            population: 8,
+            generations: 4,
+            ..GaConfig::default()
+        };
+        let mut batch_sizes = Vec::new();
+        let r = Optimizer::new(space, cfg).run_batch(|pop| {
+            batch_sizes.push(pop.len());
+            pop.iter().map(|g| -g[0].abs()).collect()
+        });
+        // init pop + 4 generations of full batches + final 1-genome batch.
+        assert_eq!(batch_sizes, vec![8, 8, 8, 8, 8, 1]);
+        assert_eq!(r.evaluations, 8 + 4 * 8 + 1);
+    }
+
+    #[test]
+    fn nan_fitness_sinks_instead_of_panicking() {
+        let space = unit_space(2);
+        let cfg = GaConfig {
+            population: 16,
+            generations: 8,
+            seed: 4,
+            ..GaConfig::default()
+        };
+        let r = Optimizer::new(space, cfg)
+            .run(|g| if g[0] > 0.0 { f64::NAN } else { -g[1].abs() });
+        // The search must complete with full history; NaN genomes rank
+        // below every numeric score, so the tracked best is numeric
+        // whenever any genome in the generation scored one.
+        assert_eq!(r.history.len(), 8 + 1);
+        if !r.best_fitness.is_nan() {
+            assert!(r.best_genome[0] <= 0.0);
+        }
+    }
+
+    #[test]
+    fn deb_rule_prefers_feasible_on_negative_objectives() {
+        // Crossover produces fractional (infeasible) values for an Int
+        // gene. With a large negative objective the multiplicative penalty
+        // can leave infeasible genomes on top; Deb's rule must not.
+        let space = SearchSpace::new(vec![GeneSpec::Int { min: 0, max: 20 }]);
+        let cfg = GaConfig {
+            population: 30,
+            generations: 30,
+            seed: 2,
+            ..GaConfig::default()
+        };
+        let r = Optimizer::new(space.clone(), cfg)
+            .run(|g| -1_000.0 - (g[0] - 7.0).abs());
+        assert!(space.is_feasible(&r.best_genome), "{:?}", r.best_genome);
+        assert!(
+            (r.best_genome[0] - 7.0).abs() <= 2.0,
+            "best genome {:?}",
+            r.best_genome
+        );
+    }
+
+    #[test]
+    fn legacy_penalty_mode_is_preserved() {
+        let space = SearchSpace::new(vec![
+            GeneSpec::Int { min: 0, max: 100 },
+            GeneSpec::Real { min: 0.0, max: 1.0 },
+        ]);
+        let cfg = GaConfig {
+            constraint_handling: ConstraintHandling::Penalty,
+            ..GaConfig::default()
+        };
+        let r = Optimizer::new(space.clone(), cfg)
+            .run(|g| -(g[0] - 42.3).abs() - (g[1] - 0.5).abs());
+        // For a positive-ish objective the legacy penalty still steers the
+        // search onto the feasible set (the repaired best is integral).
+        assert!(space.is_feasible(&r.best_genome));
+        assert_eq!(r.best_genome[0], 42.0);
     }
 
     #[test]

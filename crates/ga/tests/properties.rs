@@ -76,6 +76,52 @@ proptest! {
     }
 
     #[test]
+    fn run_batch_reproduces_run_genome_for_genome(space in arb_space(), seed in 0u64..200) {
+        let cfg = GaConfig {
+            population: 10,
+            generations: 5,
+            seed,
+            ..GaConfig::default()
+        };
+        let f = |g: &[f64]| -g.iter().map(|x| (x - 0.5) * (x - 0.5)).sum::<f64>();
+        let scalar = Optimizer::new(space.clone(), cfg).run(f);
+        let batch = Optimizer::new(space, cfg)
+            .run_batch(|pop| pop.iter().map(|g| f(g.as_slice())).collect());
+        // Identical RNG call order => bit-identical trajectories.
+        prop_assert_eq!(scalar, batch);
+    }
+
+    #[test]
+    fn nan_fitness_regions_never_panic(space in arb_space(), seed in 0u64..100) {
+        let cfg = GaConfig {
+            population: 8,
+            generations: 4,
+            seed,
+            ..GaConfig::default()
+        };
+        let result = Optimizer::new(space.clone(), cfg)
+            .run(|g| if g[0] < 0.0 { f64::NAN } else { g[0] });
+        prop_assert_eq!(result.history.len(), 5);
+        prop_assert!(space.is_feasible(&result.best_genome));
+    }
+
+    #[test]
+    fn deb_rule_top_rank_is_feasible_when_any_genome_is(space in arb_space(), seed in 0u64..100) {
+        // Even with a strongly negative objective (where a multiplicative
+        // penalty can invert the ranking), the returned best genome is
+        // feasible under Deb's rule.
+        let cfg = GaConfig {
+            population: 12,
+            generations: 6,
+            seed,
+            ..GaConfig::default()
+        };
+        let result = Optimizer::new(space.clone(), cfg)
+            .run(|g| -1_000.0 - g.iter().map(|x| x.abs()).sum::<f64>());
+        prop_assert!(space.is_feasible(&result.best_genome), "{:?}", result.best_genome);
+    }
+
+    #[test]
     fn grid_search_dominates_any_grid_member(steps in 2usize..5) {
         let space = SearchSpace::new(vec![
             GeneSpec::Real { min: 0.0, max: 1.0 },

@@ -11,6 +11,7 @@
 use crate::dataset::Dataset;
 use crate::network::Network;
 use crate::scaler::MinMaxScaler;
+use crate::surrogate::Surrogate;
 use crate::train::{train_levenberg_marquardt, TrainConfig, TrainReport};
 use crate::linalg::Matrix;
 use serde::{Deserialize, Serialize};
@@ -80,9 +81,12 @@ pub struct SurrogateModel {
 
 impl SurrogateModel {
     /// Fits the surrogate on a dataset (unscaled feature/target units).
-    /// Networks are trained in parallel (one OS thread per network, bounded
-    /// by available parallelism); results are deterministic for a given
-    /// `cfg.seed`.
+    /// Networks are trained in parallel: a crossbeam scope spawns one
+    /// worker per available core, workers claim member indices from a
+    /// shared atomic counter (no lockstep batches, no stragglers) and
+    /// borrow the scaled training data instead of cloning it per thread.
+    /// Results are scattered back into index order after the scope joins,
+    /// so fitting is deterministic for a given `cfg.seed`.
     ///
     /// # Panics
     ///
@@ -106,30 +110,50 @@ impl SurrogateModel {
 
         let workers = std::thread::available_parallelism()
             .map(|n| n.get())
-            .unwrap_or(4);
-        let mut trained: Vec<(Network, TrainReport)> = Vec::with_capacity(cfg.ensemble_size);
-        let mut next = 0usize;
-        while next < cfg.ensemble_size {
-            let batch_end = (next + workers).min(cfg.ensemble_size);
-            let handles: Vec<_> = (next..batch_end)
-                .map(|i| {
-                    let x = x.clone();
-                    let y = y.clone();
-                    let hidden = cfg.hidden.clone();
-                    let train_cfg = cfg.train;
-                    let seed = cfg.seed.wrapping_add(i as u64);
-                    std::thread::spawn(move || {
-                        let mut net = Network::new(x.cols(), &hidden, seed);
-                        let report = train_levenberg_marquardt(&mut net, &x, &y, &train_cfg);
-                        (net, report)
+            .unwrap_or(4)
+            .min(cfg.ensemble_size);
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let (x_ref, y_ref, next_ref) = (&x, &y, &next);
+        let locals: Vec<Vec<(usize, Network, TrainReport)>> =
+            crossbeam::thread::scope(|s| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        s.spawn(move |_| {
+                            let mut local = Vec::new();
+                            loop {
+                                let i = next_ref
+                                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                                if i >= cfg.ensemble_size {
+                                    break;
+                                }
+                                let seed = cfg.seed.wrapping_add(i as u64);
+                                let mut net = Network::new(x_ref.cols(), &cfg.hidden, seed);
+                                let report =
+                                    train_levenberg_marquardt(&mut net, x_ref, y_ref, &cfg.train);
+                                local.push((i, net, report));
+                            }
+                            local
+                        })
                     })
-                })
-                .collect();
-            for h in handles {
-                trained.push(h.join().expect("surrogate training thread panicked"));
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("surrogate training thread panicked"))
+                    .collect()
+            })
+            .expect("surrogate training scope panicked");
+
+        let mut slots: Vec<Option<(Network, TrainReport)>> =
+            (0..cfg.ensemble_size).map(|_| None).collect();
+        for local in locals {
+            for (i, net, report) in local {
+                slots[i] = Some((net, report));
             }
-            next = batch_end;
         }
+        let mut trained: Vec<(Network, TrainReport)> = slots
+            .into_iter()
+            .map(|t| t.expect("every ensemble member trained"))
+            .collect();
 
         // Prune the worst `prune_fraction` by training SSE.
         let keep = cfg.ensemble_size
@@ -181,30 +205,46 @@ impl SurrogateModel {
         self.y_scaler.inverse_scalar(sum / self.nets.len() as f64)
     }
 
-    /// Predicts every row of a dataset.
+    /// Predicts every row of an unscaled feature matrix with one
+    /// matrix–matrix forward pass per ensemble member — the batch-first
+    /// hot path the GA population evaluation runs on. Bit-identical to
+    /// calling [`SurrogateModel::predict`] per row: the per-member sum
+    /// accumulates in the same member order and each member's forward
+    /// pass preserves the scalar accumulation order.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the column count does not match the training data.
+    pub fn predict_batch(&self, rows: &Matrix) -> Vec<f64> {
+        assert_eq!(rows.cols(), self.x_scaler.dims(), "feature dimension mismatch");
+        let scaled = self.x_scaler.transform(rows);
+        let mut sums = vec![0.0f64; rows.rows()];
+        for net in &self.nets {
+            let preds = Surrogate::predict_batch(net, &scaled);
+            for (s, p) in sums.iter_mut().zip(&preds) {
+                *s += *p;
+            }
+        }
+        let n = self.nets.len() as f64;
+        sums.into_iter()
+            .map(|s| self.y_scaler.inverse_scalar(s / n))
+            .collect()
+    }
+
+    /// Predicts every row of a dataset (one batched pass).
     pub fn predict_dataset(&self, data: &Dataset) -> Vec<f64> {
-        (0..data.len()).map(|i| self.predict(data.row(i))).collect()
+        self.predict_batch(data.features())
     }
 
     /// Evaluates prediction quality on a held-out dataset.
     pub fn evaluate(&self, test: &Dataset) -> RegressionMetrics {
-        let predicted = self.predict_dataset(test);
-        RegressionMetrics {
-            mape: rafiki_stats::descriptive::mape(&predicted, test.targets()),
-            rmse: rafiki_stats::descriptive::rmse(&predicted, test.targets()),
-            r_squared: rafiki_stats::descriptive::r_squared(&predicted, test.targets()),
-        }
+        crate::surrogate::evaluate_on(self, test)
     }
 
     /// Per-sample percentage errors `(pred − actual)/actual · 100`, the
     /// quantity whose distribution Figures 8 and 9 plot.
     pub fn percent_errors(&self, test: &Dataset) -> Vec<f64> {
-        self.predict_dataset(test)
-            .iter()
-            .zip(test.targets())
-            .filter(|&(_, &a)| a != 0.0)
-            .map(|(&p, &a)| (p - a) / a * 100.0)
-            .collect()
+        crate::surrogate::percent_errors_on(self, test)
     }
 }
 
@@ -286,6 +326,17 @@ mod tests {
         let m2 = SurrogateModel::fit(&data, &quick_cfg(4));
         let probe = vec![37.0, 5.0];
         assert_eq!(m1.predict(&probe), m2.predict(&probe));
+    }
+
+    #[test]
+    fn batch_prediction_is_bit_identical_to_scalar() {
+        let data = smooth_dataset(5);
+        let model = SurrogateModel::fit(&data, &quick_cfg(4));
+        let rows = vec![vec![10.0, 2.0], vec![55.5, 7.1], vec![90.0, 0.5]];
+        let batch = model.predict_batch(&Matrix::from_rows(&rows));
+        for (b, row) in batch.iter().zip(&rows) {
+            assert_eq!(*b, model.predict(row));
+        }
     }
 
     #[test]

@@ -11,6 +11,9 @@
 //! - [`network`] — the feed-forward network with analytic Jacobians,
 //! - [`train`] — LM + MacKay Bayesian regularization,
 //! - [`ensemble`] — the pruned-ensemble surrogate ([`SurrogateModel`]),
+//! - [`surrogate`] — the batch-first [`Surrogate`] trait every predictor
+//!   implements (`predict_batch` over a feature matrix is the primitive;
+//!   scalar `predict` is the one-row convenience),
 //! - [`tree`] — the interpretable regression-tree baseline the paper
 //!   rejected,
 //! - [`dataset`]/[`scaler`] — data handling and `mapminmax`-style scaling.
@@ -53,6 +56,7 @@ pub mod knn;
 pub mod linalg;
 pub mod network;
 pub mod scaler;
+pub mod surrogate;
 pub mod train;
 pub mod tree;
 
@@ -63,5 +67,6 @@ pub use knn::KnnRegressor;
 pub use linalg::Matrix;
 pub use network::Network;
 pub use scaler::MinMaxScaler;
+pub use surrogate::Surrogate;
 pub use train::{StopReason, TrainConfig, TrainReport};
 pub use tree::{RegressionTree, TreeConfig};

@@ -212,9 +212,48 @@ impl Network {
         }
     }
 
-    /// Predicts a batch of rows.
+    /// Predicts a batch of (already scaled) rows with one matrix–matrix
+    /// pass per layer instead of a per-row forward loop.
+    ///
+    /// Bit-identical to calling [`Network::forward`] on each row: every
+    /// output accumulates `bias + w₀·x₀ + w₁·x₁ + …` in the same index
+    /// order, only the loop nest differs (inputs outer, weights
+    /// transposed so the inner loop runs contiguously over outputs).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `inputs.cols() != input_dim`.
     pub fn predict_batch(&self, inputs: &Matrix) -> Vec<f64> {
-        (0..inputs.rows()).map(|r| self.forward(inputs.row(r))).collect()
+        assert_eq!(inputs.cols(), self.input_dim, "input dimension mismatch");
+        let n = inputs.rows();
+        let mut act = inputs.clone();
+        for layer in &self.layers {
+            // Transpose the `out_dim x in_dim` weights once so the
+            // accumulation loop strides unit-length over outputs.
+            let mut wt = vec![0.0; layer.in_dim * layer.out_dim];
+            for o in 0..layer.out_dim {
+                for k in 0..layer.in_dim {
+                    wt[k * layer.out_dim + o] = layer.weights[o * layer.in_dim + k];
+                }
+            }
+            let mut next = Matrix::zeros(n, layer.out_dim);
+            for r in 0..n {
+                let input = act.row(r);
+                let out = next.row_mut(r);
+                out.copy_from_slice(&layer.bias);
+                for (k, &x) in input.iter().enumerate() {
+                    let wrow = &wt[k * layer.out_dim..(k + 1) * layer.out_dim];
+                    for (acc, &w) in out.iter_mut().zip(wrow) {
+                        *acc += w * x;
+                    }
+                }
+                for v in out.iter_mut() {
+                    *v = layer.activation.apply(*v);
+                }
+            }
+            act = next;
+        }
+        (0..n).map(|r| act.row(r)[0]).collect()
     }
 }
 

@@ -1,0 +1,153 @@
+//! The batch-first surrogate abstraction: one trait over every predictor
+//! the reproduction trains (the DNN ensemble of §3.6.2, a bare network,
+//! the k-NN interpolator of §5, and the regression tree of §3.7.2).
+//!
+//! The paper's headline speed claim (§4.8: ~3,350 surrogate calls in
+//! ~1.8 s) lives entirely on the evaluation hot path, so the primitive
+//! operation here is [`Surrogate::predict_batch`] over a whole feature
+//! matrix — a GA generation, a held-out test set — with scalar
+//! [`Surrogate::predict`] provided as a one-row convenience. Batched
+//! implementations are required to be *bit-identical* to their scalar
+//! counterparts (same accumulation order), which the crate's property
+//! tests pin down.
+
+use crate::dataset::Dataset;
+use crate::ensemble::{RegressionMetrics, SurrogateModel};
+use crate::knn::KnnRegressor;
+use crate::linalg::Matrix;
+use crate::network::Network;
+use crate::tree::RegressionTree;
+
+/// A trained throughput predictor evaluated a population at a time.
+///
+/// Implementors take feature rows in their own input convention:
+/// [`SurrogateModel`], [`KnnRegressor`], and [`RegressionTree`] accept
+/// unscaled rows, while a bare [`Network`] operates on rows that are
+/// already min–max scaled (it owns no scaler).
+pub trait Surrogate {
+    /// Predicts the target for every row of a feature matrix.
+    fn predict_batch(&self, rows: &Matrix) -> Vec<f64>;
+
+    /// Predicts one feature row (default: a one-row batch).
+    fn predict(&self, row: &[f64]) -> f64 {
+        self.predict_batch(&Matrix::from_rows(&[row.to_vec()]))[0]
+    }
+}
+
+impl Surrogate for Network {
+    fn predict_batch(&self, rows: &Matrix) -> Vec<f64> {
+        Network::predict_batch(self, rows)
+    }
+
+    fn predict(&self, row: &[f64]) -> f64 {
+        self.forward(row)
+    }
+}
+
+impl Surrogate for SurrogateModel {
+    fn predict_batch(&self, rows: &Matrix) -> Vec<f64> {
+        SurrogateModel::predict_batch(self, rows)
+    }
+
+    fn predict(&self, row: &[f64]) -> f64 {
+        SurrogateModel::predict(self, row)
+    }
+}
+
+impl Surrogate for KnnRegressor {
+    fn predict_batch(&self, rows: &Matrix) -> Vec<f64> {
+        (0..rows.rows()).map(|r| KnnRegressor::predict(self, rows.row(r))).collect()
+    }
+
+    fn predict(&self, row: &[f64]) -> f64 {
+        KnnRegressor::predict(self, row)
+    }
+}
+
+impl Surrogate for RegressionTree {
+    fn predict_batch(&self, rows: &Matrix) -> Vec<f64> {
+        (0..rows.rows()).map(|r| RegressionTree::predict(self, rows.row(r))).collect()
+    }
+
+    fn predict(&self, row: &[f64]) -> f64 {
+        RegressionTree::predict(self, row)
+    }
+}
+
+/// Evaluates any surrogate's prediction quality on a held-out dataset
+/// through the batched trait path (one matrix pass per model).
+pub fn evaluate_on(model: &dyn Surrogate, test: &Dataset) -> RegressionMetrics {
+    let predicted = model.predict_batch(test.features());
+    RegressionMetrics {
+        mape: rafiki_stats::descriptive::mape(&predicted, test.targets()),
+        rmse: rafiki_stats::descriptive::rmse(&predicted, test.targets()),
+        r_squared: rafiki_stats::descriptive::r_squared(&predicted, test.targets()),
+    }
+}
+
+/// Per-sample percentage errors `(pred − actual)/actual · 100` of any
+/// surrogate on a dataset — the quantity Figures 8 and 9 histogram.
+/// Samples with a zero actual are skipped.
+pub fn percent_errors_on(model: &dyn Surrogate, test: &Dataset) -> Vec<f64> {
+    model
+        .predict_batch(test.features())
+        .iter()
+        .zip(test.targets())
+        .filter(|&(_, &a)| a != 0.0)
+        .map(|(&p, &a)| (p - a) / a * 100.0)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_dataset() -> Dataset {
+        let mut rows = Vec::new();
+        let mut targets = Vec::new();
+        for i in 0..6 {
+            for j in 0..6 {
+                rows.push(vec![i as f64, j as f64 * 10.0]);
+                targets.push(100.0 + 5.0 * i as f64 - 2.0 * j as f64);
+            }
+        }
+        Dataset::from_rows(&rows, targets)
+    }
+
+    #[test]
+    fn trait_objects_cover_every_model_family() {
+        let data = toy_dataset();
+        let knn = KnnRegressor::fit(&data, 3);
+        let tree = RegressionTree::fit(&data, &crate::tree::TreeConfig::default());
+        let net = Network::new(2, &[3], 7);
+        let models: Vec<&dyn Surrogate> = vec![&knn, &tree, &net];
+        let probe = Matrix::from_rows(&[vec![0.5, 0.5], vec![2.0, 30.0]]);
+        for model in models {
+            let batch = model.predict_batch(&probe);
+            assert_eq!(batch.len(), 2);
+            assert_eq!(batch[0], model.predict(probe.row(0)));
+            assert_eq!(batch[1], model.predict(probe.row(1)));
+        }
+    }
+
+    #[test]
+    fn default_scalar_predict_uses_one_row_batch() {
+        struct Sum;
+        impl Surrogate for Sum {
+            fn predict_batch(&self, rows: &Matrix) -> Vec<f64> {
+                (0..rows.rows()).map(|r| rows.row(r).iter().sum()).collect()
+            }
+        }
+        assert_eq!(Sum.predict(&[1.0, 2.0, 3.0]), 6.0);
+    }
+
+    #[test]
+    fn evaluate_on_matches_perfect_model() {
+        let data = toy_dataset();
+        let knn = KnnRegressor::fit(&data, 3);
+        let m = evaluate_on(&knn, &data);
+        assert!(m.mape < 1e-9, "training MAPE {}", m.mape);
+        assert!(m.r_squared > 1.0 - 1e-9);
+        assert_eq!(percent_errors_on(&knn, &data).len(), data.len());
+    }
+}

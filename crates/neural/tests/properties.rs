@@ -2,7 +2,10 @@
 
 use proptest::prelude::*;
 use rafiki_neural::linalg::Matrix;
-use rafiki_neural::{Dataset, MinMaxScaler, Network};
+use rafiki_neural::{
+    Dataset, KnnRegressor, MinMaxScaler, Network, RegressionTree, Surrogate, SurrogateConfig,
+    SurrogateModel, TrainConfig, TreeConfig,
+};
 
 fn spd_matrix(n: usize, seed: &[f64]) -> Matrix {
     // A = B Bᵀ + n·I is symmetric positive definite.
@@ -94,6 +97,55 @@ proptest! {
         prop_assert!(y.is_finite());
         // tanh hidden layers + Xavier init keep the linear output modest.
         prop_assert!(y.abs() < 100.0, "output {y}");
+    }
+
+    #[test]
+    fn network_batch_prediction_is_bit_identical_to_scalar(
+        seed in 0u64..500,
+        rows in prop::collection::vec(prop::collection::vec(-1.0f64..1.0, 4), 1..12),
+    ) {
+        let net = Network::new(4, &[6, 3], seed);
+        let batch = Surrogate::predict_batch(&net, &Matrix::from_rows(&rows));
+        for (r, row) in rows.iter().enumerate() {
+            // Exact equality: the batched pass preserves the scalar
+            // accumulation order.
+            prop_assert_eq!(batch[r], net.forward(row));
+        }
+    }
+
+    #[test]
+    fn every_surrogate_family_batch_matches_scalar(
+        seed in 0u64..16,
+        probes in prop::collection::vec(prop::collection::vec(0.0f64..1.0, 2), 1..6),
+    ) {
+        // A small smooth response surface all four model families can fit.
+        let mut rows = Vec::new();
+        let mut targets = Vec::new();
+        for i in 0..5 {
+            for j in 0..5 {
+                rows.push(vec![i as f64 / 4.0, j as f64 / 4.0]);
+                targets.push(10.0 + 3.0 * i as f64 - 2.0 * j as f64);
+            }
+        }
+        let data = Dataset::from_rows(&rows, targets);
+        let ensemble = SurrogateModel::fit(&data, &SurrogateConfig {
+            hidden: vec![4],
+            ensemble_size: 3,
+            prune_fraction: 0.3,
+            train: TrainConfig { max_epochs: 10, ..TrainConfig::default() },
+            seed,
+        });
+        let knn = KnnRegressor::fit(&data, 3);
+        let tree = RegressionTree::fit(&data, &TreeConfig::default());
+        let matrix = Matrix::from_rows(&probes);
+        let models: Vec<&dyn Surrogate> = vec![&ensemble, &knn, &tree];
+        for model in models {
+            let batch = model.predict_batch(&matrix);
+            prop_assert_eq!(batch.len(), probes.len());
+            for (r, probe) in probes.iter().enumerate() {
+                prop_assert_eq!(batch[r], model.predict(probe));
+            }
+        }
     }
 
     #[test]
