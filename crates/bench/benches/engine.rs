@@ -1,11 +1,13 @@
 //! Criterion benches for the storage-engine simulator itself: how much
 //! wall-clock time one simulated benchmark point costs (the quantity that
 //! bounds every experiment), split by workload mix and compaction
-//! strategy.
+//! strategy — plus per-operation micro-benches for the two structures on
+//! the engine's hot path (LRU cache touches and bloom-filter probes).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rafiki_engine::store::{BloomFilter, LruCache};
 use rafiki_engine::{run_benchmark, CompactionMethod, Engine, EngineConfig, ServerSpec};
-use rafiki_workload::{BenchmarkSpec, WorkloadGenerator, WorkloadSpec};
+use rafiki_workload::{BenchmarkSpec, Key, WorkloadGenerator, WorkloadSpec};
 
 fn one_point(read_ratio: f64, method: CompactionMethod) -> f64 {
     let mut cfg = EngineConfig::default();
@@ -40,5 +42,39 @@ fn bench_benchmark_point(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_benchmark_point);
+fn bench_hot_path_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_hot_path");
+
+    // One cache hit: a hash-map lookup plus an O(1) intrusive-list move
+    // to the MRU slot. Every simulated read pays this several times.
+    group.bench_function("lru_touch", |b| {
+        let mut cache: LruCache<Key, u64> = LruCache::new(4_096);
+        for i in 0..4_096u64 {
+            cache.insert(Key(i), i);
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) & 4_095;
+            std::hint::black_box(cache.get(&Key(i)).copied())
+        })
+    });
+
+    // One membership probe: two splitmix64 rounds (double hashing), then
+    // k strided bit tests. Paid once per candidate SSTable per read.
+    group.bench_function("bloom_probe", |b| {
+        let mut bloom = BloomFilter::with_capacity(100_000, 0.01);
+        for i in 0..100_000u64 {
+            bloom.insert(Key(i * 2));
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            std::hint::black_box(bloom.may_contain(Key(i & 0x3_ffff)))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_benchmark_point, bench_hot_path_ops);
 criterion_main!(benches);

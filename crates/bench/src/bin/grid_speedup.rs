@@ -1,0 +1,8 @@
+//! Regenerates `BENCH_grid.json` via
+//! [`rafiki_bench::experiments::grid_speedup`]. Pass `--quick` for a reduced run.
+
+fn main() {
+    let quick = rafiki_bench::experiments::quick_flag();
+    let findings = rafiki_bench::experiments::grid_speedup::run(quick);
+    println!("\n{}", rafiki_bench::experiments::findings_table(&findings));
+}

@@ -5,6 +5,7 @@
 
 use super::Finding;
 use rafiki_engine::{run_benchmark, scylla_engine, Engine, EngineConfig, ServerSpec};
+use rafiki_stats::parallel_indexed;
 use rafiki_workload::{BenchmarkSpec, WorkloadGenerator, WorkloadSpec};
 
 /// Regenerates Figure 10.
@@ -36,15 +37,22 @@ pub fn run(quick: bool) -> Vec<Finding> {
         )
     };
 
-    println!("[fig10] Cassandra-like run ({duration:.0} simulated s)…");
-    let mut cassandra = Engine::new(EngineConfig::default(), spec);
-    cassandra.preload(preload, 1_000);
-    let c = run_benchmark(&mut cassandra, &mut wl(crate::EXPERIMENT_SEED), &bench);
-
-    println!("[fig10] ScyllaDB-like run…");
-    let mut scylla = scylla_engine(&EngineConfig::default(), spec);
-    scylla.preload(preload, 1_000);
-    let s = run_benchmark(&mut scylla, &mut wl(crate::EXPERIMENT_SEED), &bench);
+    // The two long-horizon runs are independent simulations on the same
+    // workload seed, so they run concurrently through the shared parallel
+    // runner; each worker builds its own engine and generator.
+    println!("[fig10] Cassandra-like and ScyllaDB-like runs ({duration:.0} simulated s, concurrent)…");
+    let mut results = parallel_indexed(2, |i| {
+        let mut engine = if i == 0 {
+            Engine::new(EngineConfig::default(), spec)
+        } else {
+            scylla_engine(&EngineConfig::default(), spec)
+        };
+        engine.preload(preload, 1_000);
+        run_benchmark(&mut engine, &mut wl(crate::EXPERIMENT_SEED), &bench)
+    })
+    .expect("fig10 worker panicked");
+    let s = results.pop().expect("two results");
+    let c = results.pop().expect("two results");
 
     let mut csv = String::from("time_s,cassandra_ops,scylla_ops\n");
     for (cs, ss) in c.samples.iter().zip(&s.samples) {

@@ -11,7 +11,7 @@ use super::common::{
     paper_surrogate_config,
 };
 use super::Finding;
-use rafiki::{EvalContext, RafikiTuner, TunerConfig};
+use rafiki::{EvalContext, PerformanceMetric, RafikiTuner, TunerConfig};
 use rafiki_engine::EngineConfig;
 use rafiki_ga::GaConfig;
 use rafiki_neural::SurrogateModel;
@@ -66,21 +66,31 @@ pub fn run(quick: bool) -> Vec<Finding> {
 
     // Exhaustive grid points at three workloads (the paper tests ~80
     // configuration sets per workload; the coarse grid has 2*3^4 = 162 —
-    // we subsample every 2nd for ~81).
+    // we subsample every 2nd for ~81). All workloads' points go through
+    // the deterministic parallel grid runner in one pass.
     let grid: Vec<Vec<f64>> = coarse_genome_grid(&space, 3)
         .into_iter()
         .step_by(2)
         .collect();
     let exhaustive_rrs = if quick { vec![0.5] } else { vec![0.1, 0.5, 0.9] };
-    let mut exhaustive_best: std::collections::HashMap<u64, f64> = Default::default();
+    let mut points: Vec<(f64, EngineConfig)> = Vec::new();
     for &rr in &exhaustive_rrs {
-        println!("[fig4] exhaustive grid at RR={rr} ({} configs)…", grid.len());
-        let points: Vec<(f64, EngineConfig)> = grid
+        for g in &grid {
+            points.push((rr, space.config_from_genome(g)));
+        }
+    }
+    println!(
+        "[fig4] exhaustive grid: {} workloads x {} configs…",
+        exhaustive_rrs.len(),
+        grid.len()
+    );
+    let scores = ctx.run_grid_scored(PerformanceMetric::Throughput, &points);
+    let mut exhaustive_best: std::collections::HashMap<u64, f64> = Default::default();
+    for (i, &rr) in exhaustive_rrs.iter().enumerate() {
+        let best = scores[i * grid.len()..(i + 1) * grid.len()]
             .iter()
-            .map(|g| (rr, space.config_from_genome(g)))
-            .collect();
-        let results = ctx.measure_many(&points);
-        let best = results.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
         exhaustive_best.insert((rr * 100.0) as u64, best);
     }
 

@@ -109,11 +109,9 @@ pub fn run(quick: bool) -> Vec<Finding> {
     }
     json.push_str(&format!("  ],\n  \"mean_speedup\": {mean_speedup:.2}\n}}\n"));
     crate::write_output("BENCH_search.json", &json);
-    // Keep the repo-root copy fresh when running from the workspace root.
-    let root = std::path::Path::new("BENCH_search.json");
-    if root.exists() {
-        std::fs::write(root, &json).expect("refresh BENCH_search.json");
-    }
+    // Keep the committed repo-root copy fresh (fails loudly rather than
+    // leaving a stale record).
+    crate::write_repo_root("BENCH_search.json", &json);
 
     // Exhaustive-search accounting in the paper's terms: a 5-key-parameter
     // space conservatively has ~25,000 (workload, config) points at 5 min

@@ -7,6 +7,7 @@
 use super::fig4_default_vs_rafiki::fit_experiment_tuner;
 use super::Finding;
 use rafiki_engine::{Cluster, ClusterSpec, EngineConfig, ServerSpec};
+use rafiki_stats::parallel_indexed;
 use rafiki_workload::{BenchmarkSpec, WorkloadGenerator, WorkloadSpec};
 
 fn cluster_throughput(
@@ -56,7 +57,13 @@ pub fn run(quick: bool) -> Vec<Finding> {
     let paper = ["15.2%", "41.34%", "48.35%"];
     let paper2 = ["3.2%", "67.37%", "51.4%"];
     let space = tuner.space().expect("installed").clone();
-    for (i, &rr) in rrs.iter().enumerate() {
+    // Pick the per-workload configurations first (the tuner's surrogate
+    // search is cheap and sequential), then fan all twelve cluster
+    // benchmarks — 3 workloads x 2 node counts x {default, tuned} — out
+    // through the shared deterministic parallel runner and reassemble
+    // them in print order.
+    let mut tuned_configs = Vec::new();
+    for &rr in &rrs {
         // Same guard the online controller applies: only leave the default
         // when the surrogate predicts a real gain (switching costs).
         let candidate = tuner.optimize(rr).expect("tuner installed");
@@ -71,11 +78,27 @@ pub fn run(quick: bool) -> Vec<Finding> {
             );
             rafiki_engine::EngineConfig::default()
         };
+        tuned_configs.push(tuned);
+    }
+    let node_setups = [(1usize, clients), (2, clients * 2)];
+    let mut jobs: Vec<(EngineConfig, usize, usize, f64)> = Vec::new();
+    for (i, &rr) in rrs.iter().enumerate() {
+        for &(nodes, n_clients) in &node_setups {
+            jobs.push((EngineConfig::default(), nodes, n_clients, rr));
+            jobs.push((tuned_configs[i].clone(), nodes, n_clients, rr));
+        }
+    }
+    let throughputs = parallel_indexed(jobs.len(), |j| {
+        let (cfg, nodes, n_clients, rr) = &jobs[j];
+        cluster_throughput(cfg, *nodes, *n_clients, *rr, preload, duration)
+    })
+    .expect("table3 worker panicked");
+    for (i, &rr) in rrs.iter().enumerate() {
         let mut row = vec![format!("RR={:.0}%", rr * 100.0)];
         let mut gains = Vec::new();
-        for (nodes, n_clients) in [(1usize, clients), (2, clients * 2)] {
-            let d = cluster_throughput(&EngineConfig::default(), nodes, n_clients, rr, preload, duration);
-            let t = cluster_throughput(&tuned, nodes, n_clients, rr, preload, duration);
+        for (si, &(nodes, _)) in node_setups.iter().enumerate() {
+            let at = (i * node_setups.len() + si) * 2;
+            let (d, t) = (throughputs[at], throughputs[at + 1]);
             let gain = (t / d - 1.0) * 100.0;
             println!(
                 "[table3] RR={rr:.1} {nodes}-server: default {d:.0} -> rafiki {t:.0} ({gain:+.1}%)"

@@ -7,7 +7,7 @@
 
 use super::common::{coarse_genome_grid, load_or_collect_dataset, paper_surrogate_config};
 use super::Finding;
-use rafiki::{CollectionPlan, ConfigSearchSpace, DbFlavor, EvalContext};
+use rafiki::{CollectionPlan, ConfigSearchSpace, DbFlavor, EvalContext, PerformanceMetric};
 use rafiki_engine::{param_catalog, scylla_ignored_params, EngineConfig, ParamId};
 use rafiki_ga::{GaConfig, Optimizer};
 use rafiki_neural::SurrogateModel;
@@ -76,14 +76,15 @@ pub fn run(quick: bool) -> Vec<Finding> {
         let rafiki_cfg = space.config_from_genome(&result.best_genome);
         let rafiki_tput = ctx.measure(rr, &rafiki_cfg);
 
-        // Grid search on the real engine.
+        // Grid search on the real engine, through the deterministic
+        // parallel grid runner.
         println!("[table4] grid at RR={rr} ({} configs)…", grid.len());
         let points: Vec<(f64, EngineConfig)> = grid
             .iter()
             .map(|g| (rr, space.config_from_genome(g)))
             .collect();
         let grid_tput = ctx
-            .measure_many(&points)
+            .run_grid_scored(PerformanceMetric::Throughput, &points)
             .into_iter()
             .fold(f64::NEG_INFINITY, f64::max);
 

@@ -13,4 +13,4 @@ pub mod experiments;
 pub mod output;
 
 pub use context::{experiment_context, quick_context, EXPERIMENT_SEED};
-pub use output::{markdown_table, write_output, OutputFile};
+pub use output::{markdown_table, write_output, write_repo_root, OutputFile};

@@ -148,7 +148,9 @@ impl CollectionPlan {
     }
 
     /// Executes the plan: benchmarks every (configuration, read-ratio)
-    /// combination in parallel, scoring with the plan's metric.
+    /// combination through the deterministic parallel grid runner
+    /// ([`crate::grid`]) — each point gets an independent, index-derived
+    /// workload seed — scoring with the plan's metric.
     pub fn collect(&self, ctx: &EvalContext, space: &ConfigSearchSpace) -> PerfDataset {
         let genomes = self.sample_genomes(space);
         let mut points = Vec::with_capacity(genomes.len() * self.read_ratios.len());
@@ -160,14 +162,7 @@ impl CollectionPlan {
                 meta.push((ci, rr, genome.clone()));
             }
         }
-        let scores = if self.metric == PerformanceMetric::Throughput {
-            ctx.measure_many(&points)
-        } else {
-            points
-                .iter()
-                .map(|(rr, cfg)| ctx.measure_metric(self.metric, *rr, cfg))
-                .collect()
-        };
+        let scores = ctx.run_grid_scored(self.metric, &points);
         let samples = meta
             .into_iter()
             .zip(scores)

@@ -4,6 +4,7 @@
 //! data-collection phase and that exhaustive search queries directly.
 
 use rafiki_engine::{run_benchmark, Engine, EngineConfig, ServerSpec};
+use rafiki_stats::parallel_indexed;
 use rafiki_workload::{BenchmarkResult, BenchmarkSpec, WorkloadGenerator, WorkloadSpec};
 use serde::{Deserialize, Serialize};
 
@@ -91,12 +92,24 @@ impl EvalContext {
 
     /// Runs one full benchmark and returns the detailed result.
     pub fn measure_detailed(&self, read_ratio: f64, cfg: &EngineConfig) -> BenchmarkResult {
+        self.measure_detailed_seeded(read_ratio, cfg, self.seed.wrapping_add(1))
+    }
+
+    /// Runs one full benchmark with an explicit workload-generator seed.
+    /// The deterministic grid runner ([`crate::grid`]) uses this to give
+    /// every grid point an independent, index-derived seed.
+    pub fn measure_detailed_seeded(
+        &self,
+        read_ratio: f64,
+        cfg: &EngineConfig,
+        workload_seed: u64,
+    ) -> BenchmarkResult {
         let mut engine = self.build_engine(cfg);
         let spec = WorkloadSpec {
             read_ratio,
             ..self.workload
         };
-        let mut workload = WorkloadGenerator::new(spec, self.seed.wrapping_add(1));
+        let mut workload = WorkloadGenerator::new(spec, workload_seed);
         run_benchmark(&mut engine, &mut workload, &self.bench)
     }
 
@@ -119,12 +132,14 @@ impl EvalContext {
 
     /// Measures many points in parallel across OS threads (each engine is
     /// an independent deterministic simulation, so results are identical
-    /// to the sequential order).
+    /// to the sequential order). All points share the context seed — use
+    /// [`crate::grid`]'s `run_grid` for independent per-point seeds.
     ///
     /// # Panics
     ///
     /// Panics when a measurement worker panics (the panic is surfaced
-    /// as an error by [`parallel_indexed`], not a poisoned-lock abort).
+    /// as an error by [`rafiki_stats::parallel_indexed`], not a
+    /// poisoned-lock abort).
     pub fn measure_many(&self, points: &[(f64, EngineConfig)]) -> Vec<f64> {
         parallel_indexed(points.len(), |i| {
             let (rr, cfg) = &points[i];
@@ -132,61 +147,6 @@ impl EvalContext {
         })
         .expect("measurement worker panicked")
     }
-}
-
-/// Runs `f(0)..f(n-1)` across OS threads. Workers claim indices from a
-/// shared atomic counter, collect `(index, value)` pairs locally, and the
-/// results are scattered back into index order after the scope joins — no
-/// shared result vector behind a lock, so a panicking worker cannot
-/// poison anything. A panic in any worker surfaces as `Err` instead.
-pub(crate) fn parallel_indexed<T, F>(n: usize, f: F) -> Result<Vec<T>, String>
-where
-    T: Send,
-    F: Fn(usize) -> T + Sync,
-{
-    let workers = std::thread::available_parallelism()
-        .map(|w| w.get())
-        .unwrap_or(4)
-        .min(n.max(1));
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let (f_ref, next_ref) = (&f, &next);
-    let joined: Vec<Result<Vec<(usize, T)>, String>> = crossbeam::thread::scope(|s| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                s.spawn(move |_| {
-                    let mut local = Vec::new();
-                    loop {
-                        let i = next_ref.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        if i >= n {
-                            break;
-                        }
-                        local.push((i, f_ref(i)));
-                    }
-                    local
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| {
-                h.join()
-                    .map_err(|_| "evaluation worker panicked".to_string())
-            })
-            .collect()
-    })
-    .map_err(|_| "evaluation scope panicked".to_string())?;
-
-    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
-    for local in joined {
-        for (i, v) in local? {
-            slots[i] = Some(v);
-        }
-    }
-    slots
-        .into_iter()
-        .enumerate()
-        .map(|(i, v)| v.ok_or_else(|| format!("missing result for index {i}")))
-        .collect()
 }
 
 #[cfg(test)]

@@ -1,0 +1,165 @@
+//! The deterministic parallel grid runner for data collection.
+//!
+//! The paper's offline phase (§4.2) benchmarks a grid of
+//! `(read ratio, configuration)` points — 11 workloads x 20
+//! configurations of multi-minute runs. Each point is an independent
+//! deterministic simulation, so the grid is embarrassingly parallel;
+//! what must be pinned down is that parallel execution produces
+//! **bit-identical** results to a sequential loop. Two rules enforce
+//! that contract:
+//!
+//! 1. **Per-point seeds depend only on the point's index** — derived by
+//!    [`rafiki_stats::mix64`] from `ctx.seed ^ index`, never from which
+//!    thread runs the point or in which order points finish. Distinct
+//!    indices also get decorrelated workload streams, which makes
+//!    screening replicates and collection-plan repeats statistically
+//!    meaningful instead of byte-for-byte repeats of one stream.
+//! 2. **Index-scatter collection** — results are placed by index
+//!    ([`rafiki_stats::parallel_indexed`]), so the output vector's order
+//!    is the points' order regardless of scheduling.
+//!
+//! `run_grid` and `run_grid_sequential` therefore return equal vectors
+//! (enforced by a test here and asserted at runtime by the
+//! `grid_speedup` experiment); the parallel path is purely a wall-clock
+//! optimization.
+
+use crate::dba::PerformanceMetric;
+use crate::evaluator::EvalContext;
+use rafiki_engine::EngineConfig;
+use rafiki_stats::{mix64, parallel_indexed};
+use rafiki_workload::BenchmarkResult;
+
+/// One grid point: a read ratio and the configuration to benchmark.
+pub type GridPoint = (f64, EngineConfig);
+
+impl EvalContext {
+    /// The workload seed of grid point `index`: a [`mix64`] avalanche of
+    /// the context seed and the index. Depends on nothing else, so any
+    /// execution order — or thread assignment — yields the same seed.
+    pub fn point_seed(&self, index: usize) -> u64 {
+        mix64(self.seed ^ (index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+    }
+
+    /// Measures grid point `index` of `points` with its index-derived
+    /// seed. The unit of work both grid runners share.
+    fn measure_grid_point(&self, points: &[GridPoint], index: usize) -> BenchmarkResult {
+        let (rr, cfg) = &points[index];
+        self.measure_detailed_seeded(*rr, cfg, self.point_seed(index))
+    }
+
+    /// Runs every grid point in parallel across OS threads and returns
+    /// the detailed results in point order — bit-identical to
+    /// [`EvalContext::run_grid_sequential`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when a grid worker panics (e.g. an invalid configuration);
+    /// the panic surfaces as an error from the worker scope first, so no
+    /// lock is poisoned and no partial results leak.
+    pub fn run_grid(&self, points: &[GridPoint]) -> Vec<BenchmarkResult> {
+        parallel_indexed(points.len(), |i| self.measure_grid_point(points, i))
+            .expect("grid worker panicked")
+    }
+
+    /// The sequential reference loop: same seeds, same order, one point
+    /// at a time. Exists so the determinism contract is testable and the
+    /// `grid_speedup` experiment can report honest wall-time ratios.
+    pub fn run_grid_sequential(&self, points: &[GridPoint]) -> Vec<BenchmarkResult> {
+        (0..points.len())
+            .map(|i| self.measure_grid_point(points, i))
+            .collect()
+    }
+
+    /// Runs the grid in parallel and scores each result with `metric`
+    /// (larger is better, latencies negated — see
+    /// [`PerformanceMetric::score`]).
+    pub fn run_grid_scored(&self, metric: PerformanceMetric, points: &[GridPoint]) -> Vec<f64> {
+        self.run_grid(points)
+            .iter()
+            .map(|r| metric.score(r))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_3x3() -> Vec<GridPoint> {
+        let mut points = Vec::new();
+        for &rr in &[0.1, 0.5, 0.9] {
+            for cw in [2u32, 8, 32] {
+                let mut cfg = EngineConfig::default();
+                cfg.concurrent_writes = cw;
+                points.push((rr, cfg));
+            }
+        }
+        points
+    }
+
+    #[test]
+    fn parallel_grid_is_bit_identical_to_sequential() {
+        let ctx = EvalContext::small();
+        let points = grid_3x3();
+        let sequential = ctx.run_grid_sequential(&points);
+        let parallel = ctx.run_grid(&points);
+        assert_eq!(sequential.len(), 9);
+        // Full BenchmarkResult equality: throughput, latencies, and every
+        // per-window sample must match bit-for-bit.
+        assert_eq!(sequential, parallel);
+        // And the parallel path is itself reproducible.
+        assert_eq!(parallel, ctx.run_grid(&points));
+    }
+
+    #[test]
+    fn point_seeds_are_index_stable_and_distinct() {
+        let ctx = EvalContext::small();
+        let seeds: Vec<u64> = (0..64).map(|i| ctx.point_seed(i)).collect();
+        assert_eq!(
+            seeds,
+            (0..64).map(|i| ctx.point_seed(i)).collect::<Vec<_>>()
+        );
+        let mut unique = seeds.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), seeds.len(), "per-point seeds collide");
+        // Different base seeds shift every point seed.
+        let other = EvalContext {
+            seed: ctx.seed.wrapping_add(1),
+            ..ctx
+        };
+        assert_ne!(seeds[0], other.point_seed(0));
+    }
+
+    #[test]
+    fn distinct_points_get_decorrelated_workloads() {
+        // Two identical configurations at the same read ratio but at
+        // different grid indices must not replay the same stream.
+        let ctx = EvalContext::small();
+        let cfg = EngineConfig::default();
+        let points = vec![(0.5, cfg.clone()), (0.5, cfg)];
+        let results = ctx.run_grid(&points);
+        assert_ne!(
+            results[0], results[1],
+            "replicates at different indices should differ"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "worker panicked")]
+    fn worker_death_mid_grid_propagates() {
+        let ctx = EvalContext::small();
+        // Point 1 carries an invalid configuration: the engine's
+        // validation panics inside the worker thread, and the grid
+        // runner must propagate that instead of hanging or returning
+        // partial results.
+        let mut bad = EngineConfig::default();
+        bad.bloom_filter_fp_chance = 1.5;
+        let points = vec![
+            (0.5, EngineConfig::default()),
+            (0.5, bad),
+            (0.5, EngineConfig::default()),
+        ];
+        let _ = ctx.run_grid(&points);
+    }
+}

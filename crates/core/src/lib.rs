@@ -37,6 +37,7 @@ pub mod controller;
 pub mod dataset;
 pub mod dba;
 pub mod evaluator;
+pub mod grid;
 pub mod screening;
 pub mod search_space;
 pub mod tuner;
@@ -45,6 +46,7 @@ pub use controller::{ControllerConfig, ControllerReport, OnlineController};
 pub use dataset::{CollectionPlan, PerfDataset, PerfSample};
 pub use dba::{DbaSpec, PerformanceMetric};
 pub use evaluator::{DbFlavor, EvalContext};
+pub use grid::GridPoint;
 pub use screening::{identify_key_parameters, ScreeningConfig, ScreeningReport};
 pub use search_space::ConfigSearchSpace;
 pub use tuner::{OptimizedConfig, RafikiTuner, TunerConfig, TunerError, TunerReport};

@@ -110,7 +110,11 @@ pub fn screening_values(info: &ParamInfo, levels: usize) -> Vec<f64> {
 /// Runs the full parameter screen over the engine catalog.
 pub fn identify_key_parameters(ctx: &EvalContext, cfg: &ScreeningConfig) -> ScreeningReport {
     let catalog = param_catalog();
-    // Build the full measurement matrix up front so it can run in parallel.
+    // Build the full measurement matrix up front and run it through the
+    // deterministic parallel grid runner ([`crate::grid`]). Each point
+    // gets an independent index-derived workload seed, so replicates of
+    // the same value observe different streams — giving the ANOVA a real
+    // within-group variance instead of identical repeats.
     let mut points: Vec<(f64, EngineConfig)> = Vec::new();
     let mut layout: Vec<(usize, Vec<f64>)> = Vec::new(); // (catalog idx, values)
     for (pi, info) in catalog.iter().enumerate() {
@@ -125,7 +129,8 @@ pub fn identify_key_parameters(ctx: &EvalContext, cfg: &ScreeningConfig) -> Scre
         layout.push((pi, values));
     }
     points.push((cfg.read_ratio, EngineConfig::default()));
-    let throughputs = ctx.measure_many(&points);
+    let throughputs =
+        ctx.run_grid_scored(crate::dba::PerformanceMetric::Throughput, &points);
     let default_throughput = *throughputs.last().expect("non-empty measurements");
 
     let mut screens = Vec::new();

@@ -4,6 +4,7 @@
 
 use crate::server::{Engine, OpCompletion};
 use crate::sim::{SimDuration, SimTime};
+use rafiki_stats::StreamingHistogram;
 use rafiki_workload::{BenchmarkResult, BenchmarkSpec, OpKind, OperationSource, ThroughputSample};
 
 /// Runs a closed-loop benchmark against `engine`, pulling operations from
@@ -29,20 +30,24 @@ pub fn run_benchmark(
     }
 
     let mut measured: Vec<OpCompletion> = Vec::new();
+    // Scratch buffer reused across steps (see [`Engine::step_into`]) —
+    // the loop runs once per simulated event.
+    let mut completions: Vec<OpCompletion> = Vec::new();
     let mut warmed = false;
     loop {
         if engine.next_event_time().is_none_or(|t| t > measure_end) {
             break;
         }
-        let Some(completions) = engine.step() else {
+        completions.clear();
+        if !engine.step_into(&mut completions) {
             break;
-        };
+        }
         let now = engine.clock();
         if !warmed && now >= warmup_end {
             engine.reset_metrics();
             warmed = true;
         }
-        for comp in completions {
+        for &comp in &completions {
             if comp.token == crate::server::REPLICA_TOKEN {
                 continue;
             }
@@ -69,22 +74,19 @@ pub fn summarize(
         .iter()
         .filter(|c| c.kind == OpKind::Read)
         .count() as u64;
-    let mut latencies_ms: Vec<f64> = measured
-        .iter()
-        .map(|c| c.latency().as_millis_f64())
-        .collect();
-    latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
-    let mean_latency_ms = if latencies_ms.is_empty() {
-        0.0
-    } else {
-        latencies_ms.iter().sum::<f64>() / latencies_ms.len() as f64
-    };
-    let p99_latency_ms = if latencies_ms.is_empty() {
-        0.0
-    } else {
-        let idx = ((latencies_ms.len() as f64 * 0.99) as usize).min(latencies_ms.len() - 1);
-        latencies_ms[idx]
-    };
+    // Latencies stream through a log-linear histogram (integer
+    // nanoseconds): the exact mean comes from the histogram's running
+    // sum and p99 from a nearest-rank cumulative walk, so no per-op
+    // latency vector is built or sorted. The nearest-rank definition
+    // (smallest value whose cumulative count reaches `ceil(0.99 * n)`)
+    // also fixes the old `(n as f64 * 0.99) as usize` indexing, which
+    // selected the maximum for n = 100.
+    let mut hist = StreamingHistogram::new();
+    for c in measured {
+        hist.record(c.latency().0);
+    }
+    let mean_latency_ms = hist.mean().unwrap_or(0.0) / 1e6;
+    let p99_latency_ms = hist.quantile(0.99).unwrap_or(0) as f64 / 1e6;
 
     // Per-window throughput samples (Figure 10 granularity).
     let window = spec.sample_window_secs;
@@ -156,6 +158,60 @@ mod tests {
         assert!(result.mean_latency_ms > 0.0);
         assert!(result.p99_latency_ms >= result.mean_latency_ms);
         assert_eq!(result.samples.len(), 4);
+    }
+
+    #[test]
+    fn p99_uses_nearest_rank_not_max() {
+        // Known distribution: 100 completions with latencies 1..=100 ms.
+        // Nearest-rank p99 must select the 99th smallest value (99 ms) —
+        // the old `(len as f64 * 0.99) as usize` index picked the max.
+        let measured: Vec<OpCompletion> = (1..=100u64)
+            .map(|ms| OpCompletion {
+                token: ms,
+                kind: OpKind::Read,
+                issued_at: SimTime::ZERO,
+                completed_at: SimTime(ms * 1_000_000),
+            })
+            .collect();
+        let spec = BenchmarkSpec {
+            duration_secs: 1.0,
+            warmup_secs: 0.0,
+            clients: 1,
+            sample_window_secs: 0.25,
+        };
+        let result = summarize(&measured, SimTime::ZERO, &spec);
+        assert!(
+            (result.p99_latency_ms - 99.0).abs() < 0.3,
+            "p99 {} should be ~99 ms",
+            result.p99_latency_ms
+        );
+        assert!(
+            result.p99_latency_ms < 100.0,
+            "p99 {} must not be the maximum",
+            result.p99_latency_ms
+        );
+        assert!((result.mean_latency_ms - 50.5).abs() < 1e-9);
+        assert_eq!(result.total_ops, 100);
+    }
+
+    #[test]
+    fn step_into_reuses_buffer_and_matches_step() {
+        let mut a = preloaded_engine();
+        let mut b = preloaded_engine();
+        for c in 0..4u64 {
+            let op = rafiki_workload::Operation::read(rafiki_workload::Key(c * 17));
+            a.submit(c, op, a.clock());
+            b.submit(c, op, b.clock());
+        }
+        let mut out = Vec::new();
+        loop {
+            let via_step = a.step();
+            out.clear();
+            let alive = b.step_into(&mut out);
+            assert_eq!(via_step.is_some(), alive);
+            let Some(via_step) = via_step else { break };
+            assert_eq!(via_step, out);
+        }
     }
 
     #[test]

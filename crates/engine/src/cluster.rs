@@ -160,8 +160,10 @@ impl Cluster {
         let mut rr_counter = 0usize;
         let mut measured: Vec<OpCompletion> = Vec::new();
         // Outstanding acknowledgements per op id (consistency accounting).
-        let mut pending: std::collections::HashMap<u64, usize> = Default::default();
+        let mut pending: crate::fasthash::FastHashMap<u64, usize> = Default::default();
         let mut next_op_id: u64 = 0;
+        // Scratch buffer reused across steps (see [`Engine::step_into`]).
+        let mut completions: Vec<OpCompletion> = Vec::new();
 
         // Prime the clients (one outstanding operation each).
         for _ in 0..bench.clients {
@@ -186,10 +188,11 @@ impl Cluster {
             if at > measure_end {
                 break;
             }
-            let Some(completions) = self.nodes[node_idx].step() else {
+            completions.clear();
+            if !self.nodes[node_idx].step_into(&mut completions) {
                 continue;
-            };
-            for comp in completions {
+            }
+            for &comp in &completions {
                 if comp.token == REPLICA_TOKEN {
                     continue;
                 }

@@ -13,9 +13,9 @@
 //! I/O — which is why it suits read-heavy workloads and hurts write-heavy
 //! ones.
 
+use crate::fasthash::FastHashSet;
 use crate::store::{SsTable, TableId, TableSet};
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
 
 /// A planned compaction: merge `inputs` and emit the result at
 /// `output_level`.
@@ -117,7 +117,7 @@ impl Strategy {
     /// Plans at most one compaction over the live tables, excluding any in
     /// `busy` (already being compacted). Returns `None` when nothing needs
     /// compacting.
-    pub fn plan(&self, tables: &TableSet, busy: &HashSet<TableId>) -> Option<CompactionJob> {
+    pub fn plan(&self, tables: &TableSet, busy: &FastHashSet<TableId>) -> Option<CompactionJob> {
         match *self {
             Strategy::SizeTiered {
                 min_threshold,
@@ -143,7 +143,7 @@ impl Strategy {
 /// window's tables are eligible for (size-agnostic) merging.
 fn plan_time_window(
     tables: &TableSet,
-    busy: &HashSet<TableId>,
+    busy: &FastHashSet<TableId>,
     window_versions: u64,
     min_threshold: usize,
     max_threshold: usize,
@@ -172,7 +172,7 @@ fn job_from(inputs: Vec<&SsTable>, output_level: u8) -> CompactionJob {
 
 fn plan_size_tiered(
     tables: &TableSet,
-    busy: &HashSet<TableId>,
+    busy: &FastHashSet<TableId>,
     min_threshold: usize,
     max_threshold: usize,
     min_sstable_bytes: u64,
@@ -201,7 +201,7 @@ fn plan_size_tiered(
 
 fn plan_leveled(
     tables: &TableSet,
-    busy: &HashSet<TableId>,
+    busy: &FastHashSet<TableId>,
     fanout: u64,
     base_level_bytes: u64,
     l0_trigger: usize,
@@ -296,9 +296,9 @@ mod tests {
         for i in 0..3 {
             add_table(&mut set, (i * 10)..(i * 10 + 5), 0, 100);
         }
-        assert!(stcs().plan(&set, &HashSet::new()).is_none());
+        assert!(stcs().plan(&set, &FastHashSet::default()).is_none());
         add_table(&mut set, 100..105, 0, 100);
-        let job = stcs().plan(&set, &HashSet::new()).unwrap();
+        let job = stcs().plan(&set, &FastHashSet::default()).unwrap();
         assert_eq!(job.inputs.len(), 4);
         assert_eq!(job.output_level, 0);
         assert!(job.input_bytes > 0);
@@ -314,7 +314,7 @@ mod tests {
         for i in 0..3 {
             add_table(&mut set, (1000 + i * 100)..(1000 + i * 100 + 40), 0, 100);
         }
-        assert!(stcs().plan(&set, &HashSet::new()).is_none());
+        assert!(stcs().plan(&set, &FastHashSet::default()).is_none());
     }
 
     #[test]
@@ -323,7 +323,7 @@ mod tests {
         let ids: Vec<TableId> = (0..4)
             .map(|i| add_table(&mut set, (i * 10)..(i * 10 + 5), 0, 100))
             .collect();
-        let busy: HashSet<TableId> = [ids[0]].into_iter().collect();
+        let busy: FastHashSet<TableId> = [ids[0]].into_iter().collect();
         assert!(stcs().plan(&set, &busy).is_none());
     }
 
@@ -335,7 +335,7 @@ mod tests {
         }
         let l1 = add_table(&mut set, 5..15, 1, 100);
         let far = add_table(&mut set, 1000..1010, 1, 100);
-        let job = lcs().plan(&set, &HashSet::new()).unwrap();
+        let job = lcs().plan(&set, &FastHashSet::default()).unwrap();
         assert_eq!(job.output_level, 1);
         assert_eq!(job.inputs.len(), 5);
         assert!(job.inputs.contains(&l1));
@@ -351,7 +351,7 @@ mod tests {
             add_table(&mut set, (i * 100)..(i * 100 + 100), 1, 100);
         }
         let l2 = add_table(&mut set, 0..50, 2, 100);
-        let job = lcs().plan(&set, &HashSet::new()).unwrap();
+        let job = lcs().plan(&set, &FastHashSet::default()).unwrap();
         assert_eq!(job.output_level, 2);
         // Oldest L1 table (keys 0..100) overlaps the L2 table.
         assert!(job.inputs.contains(&l2));
@@ -364,7 +364,7 @@ mod tests {
             add_table(&mut set, 0..20, 0, 100);
         }
         let l1 = add_table(&mut set, 0..20, 1, 100);
-        let busy: HashSet<TableId> = [l1].into_iter().collect();
+        let busy: FastHashSet<TableId> = [l1].into_iter().collect();
         assert!(lcs().plan(&set, &busy).is_none());
     }
 
@@ -397,7 +397,7 @@ mod tests {
             min_threshold: 4,
             max_threshold: 8,
         };
-        let job = twcs.plan(&set, &HashSet::new()).unwrap();
+        let job = twcs.plan(&set, &FastHashSet::default()).unwrap();
         assert_eq!(job.inputs.len(), 4);
         assert!(!job.inputs.contains(&old_a));
         assert!(!job.inputs.contains(&old_b));
@@ -421,7 +421,7 @@ mod tests {
             set.add(SsTable::from_rows(id, 0, rows, 0.01, 64 << 10));
         }
         let twcs = Strategy::time_window_default();
-        assert!(twcs.plan(&set, &HashSet::new()).is_none());
+        assert!(twcs.plan(&set, &FastHashSet::default()).is_none());
         assert_eq!(twcs.output_target_bytes(), u64::MAX);
         assert!(!twcs.is_leveled());
     }

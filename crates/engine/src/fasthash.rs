@@ -1,0 +1,142 @@
+//! A fast, deterministic, non-cryptographic hasher for the engine's
+//! hot-path maps.
+//!
+//! Every simulated operation performs several hash lookups (key cache,
+//! row cache, block caches, flush/compaction bookkeeping). The standard
+//! library's default SipHash is DoS-resistant but costs tens of cycles
+//! per integer key; this FxHash-style multiply-rotate hasher costs a
+//! few. It is also *seedless*, unlike `RandomState`, so map iteration
+//! order — and therefore the whole simulation — cannot vary between
+//! processes even by accident (we never iterate these maps in
+//! result-affecting order, but determinism-by-construction is cheaper
+//! than determinism-by-audit). All keys hashed here are fixed-width
+//! integers produced by the simulator itself, so HashDoS resistance
+//! buys nothing.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant from the FxHash family (the golden-ratio
+/// derived odd constant used by the rustc compiler's hasher).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// An FxHash-style streaming hasher: `rotate ^ word, * constant` per
+/// 8-byte word.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, v: u128) {
+        self.add(v as u64);
+        self.add((v >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`]; zero-sized and `Default`.
+pub type BuildFxHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed by the fast deterministic hasher.
+pub type FastHashMap<K, V> = std::collections::HashMap<K, V, BuildFxHasher>;
+
+/// A `HashSet` keyed by the fast deterministic hasher.
+pub type FastHashSet<K> = std::collections::HashSet<K, BuildFxHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        BuildFxHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn deterministic_across_builders() {
+        assert_eq!(hash_of(&42u64), hash_of(&42u64));
+        assert_eq!(hash_of(&(7u64, 3u32)), hash_of(&(7u64, 3u32)));
+        assert_eq!(hash_of(&"abcdefghij"), hash_of(&"abcdefghij"));
+    }
+
+    #[test]
+    fn distinguishes_nearby_keys() {
+        let hashes: Vec<u64> = (0u64..1024).map(|k| hash_of(&k)).collect();
+        let mut sorted = hashes.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(
+            sorted.len(),
+            hashes.len(),
+            "collision among 1024 sequential keys"
+        );
+    }
+
+    #[test]
+    fn map_behaves_like_std_map() {
+        let mut m: FastHashMap<u64, u64> = FastHashMap::default();
+        for k in 0..100u64 {
+            m.insert(k, k * 3);
+        }
+        assert_eq!(m.len(), 100);
+        assert_eq!(m.get(&42), Some(&126));
+        assert_eq!(m.remove(&42), Some(126));
+        assert_eq!(m.get(&42), None);
+
+        let mut s: FastHashSet<u64> = FastHashSet::default();
+        s.insert(7);
+        assert!(s.contains(&7));
+        assert!(!s.contains(&8));
+    }
+}

@@ -46,6 +46,7 @@ pub mod bench;
 pub mod cluster;
 pub mod compaction;
 pub mod config;
+pub mod fasthash;
 pub mod metrics;
 pub mod scylla;
 pub mod server;
@@ -59,6 +60,7 @@ pub use config::{
     param_catalog, CompactionMethod, CostModel, EngineConfig, ParamDomain, ParamId, ParamInfo,
     ServerSpec,
 };
+pub use fasthash::{FastHashMap, FastHashSet, FxHasher};
 pub use metrics::EngineMetrics;
 pub use scylla::{scylla_effective_config, scylla_engine, scylla_ignored_params, ScyllaTuner};
 pub use server::{Engine, Flavor, OpCompletion, OpToken, REPLICA_TOKEN};

@@ -19,6 +19,7 @@
 
 use crate::compaction::{CompactionJob, Strategy};
 use crate::config::{CompactionMethod, EngineConfig, ServerSpec};
+use crate::fasthash::{FastHashMap, FastHashSet};
 use crate::metrics::EngineMetrics;
 use crate::scylla::ScyllaTuner;
 use crate::sim::{CpuModel, DiskDevice, DiskReq, SimDuration, SimTime, WorkerPool};
@@ -27,7 +28,7 @@ use crate::store::{
 };
 use rafiki_workload::{Key, OpKind, Operation};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
+use std::collections::{BinaryHeap, VecDeque};
 
 /// Opaque token identifying the submitter of an operation (e.g. a client
 /// slot); returned with the completion.
@@ -140,21 +141,26 @@ pub struct Engine {
 
     frozen: VecDeque<Vec<Row>>,
     frozen_bytes: u64,
-    flush_jobs: HashMap<u64, FlushJob>,
+    flush_jobs: FastHashMap<u64, FlushJob>,
     next_flush_id: u64,
     write_block_until: SimTime,
 
-    compaction_runs: HashMap<u64, CompactionRun>,
-    busy_tables: HashSet<TableId>,
+    compaction_runs: FastHashMap<u64, CompactionRun>,
+    busy_tables: FastHashSet<TableId>,
     next_compaction_id: u64,
 
     pub(crate) tuner: Option<ScyllaTuner>,
     tuner_factor: f64,
 
     metrics: EngineMetrics,
-    completions: Vec<OpCompletion>,
     in_flight_reads: usize,
     in_flight_writes: usize,
+
+    // Reusable scratch buffers: the read and scan paths run once per
+    // simulated operation, and per-op `Vec` churn shows up directly in
+    // grid wall time.
+    read_scratch: Vec<TableId>,
+    scan_scratch: Vec<(TableId, usize, u32, u32)>,
 }
 
 /// Background-I/O chunk size; small enough that foreground requests
@@ -225,18 +231,19 @@ impl Engine {
             version_counter: 0,
             frozen: VecDeque::new(),
             frozen_bytes: 0,
-            flush_jobs: HashMap::new(),
+            flush_jobs: FastHashMap::default(),
             next_flush_id: 0,
             write_block_until: SimTime::ZERO,
-            compaction_runs: HashMap::new(),
-            busy_tables: HashSet::new(),
+            compaction_runs: FastHashMap::default(),
+            busy_tables: FastHashSet::default(),
             next_compaction_id: 0,
             tuner: None,
             tuner_factor: 1.0,
             metrics: EngineMetrics::default(),
-            completions: Vec::new(),
             in_flight_reads: 0,
             in_flight_writes: 0,
+            read_scratch: Vec::new(),
+            scan_scratch: Vec::new(),
             clock: SimTime::ZERO,
             seq: 0,
             events: BinaryHeap::new(),
@@ -417,8 +424,22 @@ impl Engine {
     /// Advances the simulation by one event. Returns the operations that
     /// completed at that event (usually zero or one). Returns `None` when
     /// no events remain.
+    ///
+    /// Allocating convenience wrapper around [`Engine::step_into`]; hot
+    /// loops (the benchmark driver, the cluster scheduler) should reuse a
+    /// scratch buffer through `step_into` instead.
     pub fn step(&mut self) -> Option<Vec<OpCompletion>> {
-        let Reverse((at, _, kind)) = self.events.pop()?;
+        let mut out = Vec::new();
+        self.step_into(&mut out).then_some(out)
+    }
+
+    /// Advances the simulation by one event, appending any operations
+    /// that completed at that event (usually zero or one) to `out`
+    /// without clearing it. Returns `false` when no events remain.
+    pub fn step_into(&mut self, out: &mut Vec<OpCompletion>) -> bool {
+        let Some(Reverse((at, _, kind))) = self.events.pop() else {
+            return false;
+        };
         debug_assert!(at >= self.clock, "time went backwards");
         self.clock = at;
         match kind {
@@ -437,7 +458,7 @@ impl Engine {
                         self.in_flight_writes = self.in_flight_writes.saturating_sub(1);
                     }
                 }
-                self.completions.push(OpCompletion {
+                out.push(OpCompletion {
                     token,
                     kind,
                     issued_at,
@@ -448,7 +469,7 @@ impl Engine {
             EventKind::CompactionChunk { id } => self.compaction_chunk(id),
             EventKind::TunerTick => self.tuner_tick(),
         }
-        Some(std::mem::take(&mut self.completions))
+        true
     }
 
     /// Submits an operation at `ready` (must not precede the engine
@@ -766,7 +787,7 @@ impl Engine {
             purge,
             || tables.allocate_id(),
         );
-        let dead: HashSet<TableId> = inputs.iter().map(|t| t.id()).collect();
+        let dead: FastHashSet<TableId> = inputs.iter().map(|t| t.id()).collect();
         drop(inputs);
 
         let mut output_ids = Vec::new();
@@ -820,9 +841,10 @@ impl Engine {
             // Memtable probe (real lookup).
             let mem_version = self.memtable.get(op.key).map(|r| r.version);
 
-            // Bloom-check every range-matching table; probe the positives.
-            let range_matches = self.tables.range_matches(op.key);
-            let scratch = self.tables.candidates_for(op.key);
+            // Bloom-check every range-matching table; probe the positives
+            // (one table walk, into the reused per-engine scratch buffer).
+            let mut scratch = std::mem::take(&mut self.read_scratch);
+            let range_matches = self.tables.probe_into(op.key, &mut scratch);
             self.metrics.bloom_checks += range_matches as u64;
             self.metrics.bloom_negatives += (range_matches - scratch.len()) as u64;
             cpu_us += costs.bloom_check_cpu_us * range_matches as f64;
@@ -869,6 +891,7 @@ impl Engine {
                 io_ready = fetch_io;
             }
             let _ = newest_version;
+            self.read_scratch = scratch;
 
             if self.row_cache.capacity() > 0 {
                 self.row_cache.insert(op.key, self.version_counter);
@@ -934,17 +957,20 @@ impl Engine {
         let mem_rows = self.memtable.scan(lo, hi).count();
         cpu_us += costs.scan_row_cpu_us * mem_rows as f64;
 
-        // Every overlapping table contributes a seek plus its row run.
-        let touched: Vec<(TableId, usize, u32, u32)> = self
-            .tables
-            .iter()
-            .filter(|t| t.range_overlaps(lo, hi))
-            .map(|t| {
-                let (rows, b0, b1) = t.range_slice(lo, hi);
-                (t.id(), rows.len(), b0, b1)
-            })
-            .collect();
-        for (tid, row_count, b0, b1) in touched {
+        // Every overlapping table contributes a seek plus its row run
+        // (collected into the reused per-engine scratch buffer).
+        let mut touched = std::mem::take(&mut self.scan_scratch);
+        touched.clear();
+        touched.extend(
+            self.tables
+                .iter()
+                .filter(|t| t.range_overlaps(lo, hi))
+                .map(|t| {
+                    let (rows, b0, b1) = t.range_slice(lo, hi);
+                    (t.id(), rows.len(), b0, b1)
+                }),
+        );
+        for &(tid, row_count, b0, b1) in &touched {
             self.metrics.candidates_probed += 1;
             cpu_us += costs.per_candidate_cpu_us;
             cpu_us += costs.scan_row_cpu_us * row_count as f64;
@@ -957,6 +983,7 @@ impl Engine {
                 io_ready = fetch_io;
             }
         }
+        self.scan_scratch = touched;
 
         let service = self.cpu_time(cpu_us, ready);
         let (_, cpu_done) = self.read_pool.dispatch(ready, service);

@@ -62,18 +62,25 @@ impl BloomFilter {
         self.bits.len() * 8
     }
 
-    fn positions(&self, key: Key) -> impl Iterator<Item = u64> + '_ {
-        // Kirsch–Mitzenmacher double hashing.
+    /// Kirsch–Mitzenmacher double hashing: two full hashes produce all
+    /// `k` probe positions as `h1 + i*h2`.
+    fn hash_pair(key: Key) -> (u64, u64) {
         let h1 = splitmix64(key.0);
         let h2 = splitmix64(h1 ^ 0x5851_f42d_4c95_7f2d) | 1;
+        (h1, h2)
+    }
+
+    fn positions(&self, key: Key) -> impl Iterator<Item = u64> + '_ {
+        let (h1, h2) = Self::hash_pair(key);
         let n_bits = self.n_bits;
         (0..self.k as u64).map(move |i| h1.wrapping_add(i.wrapping_mul(h2)) % n_bits)
     }
 
     /// Inserts a key.
     pub fn insert(&mut self, key: Key) {
-        let positions: Vec<u64> = self.positions(key).collect();
-        for p in positions {
+        let (h1, h2) = Self::hash_pair(key);
+        for i in 0..self.k as u64 {
+            let p = h1.wrapping_add(i.wrapping_mul(h2)) % self.n_bits;
             self.bits[(p / 64) as usize] |= 1u64 << (p % 64);
         }
     }

@@ -2,9 +2,12 @@
 //! the key cache, and the row cache.
 //!
 //! Implemented as a slab-backed intrusive doubly-linked list plus a hash
-//! index — O(1) get/insert/evict with no unsafe code.
+//! index — O(1) get/insert/evict with no unsafe code. The index uses the
+//! engine's fast deterministic hasher ([`crate::fasthash`]): cache
+//! touches are the single hottest operation in the simulation (several
+//! per simulated read), so hashing cost dominates here.
 
-use std::collections::HashMap;
+use crate::fasthash::FastHashMap;
 use std::hash::Hash;
 
 const NIL: usize = usize::MAX;
@@ -20,7 +23,7 @@ struct Entry<K, V> {
 /// A least-recently-used cache with a fixed capacity in entries.
 #[derive(Debug, Clone)]
 pub struct LruCache<K, V> {
-    map: HashMap<K, usize>,
+    map: FastHashMap<K, usize>,
     slab: Vec<Option<Entry<K, V>>>,
     free: Vec<usize>,
     head: usize, // most recently used
@@ -35,7 +38,7 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
     /// produces a cache that stores nothing (every lookup misses).
     pub fn new(capacity: usize) -> Self {
         LruCache {
-            map: HashMap::with_capacity(capacity.min(1 << 20)),
+            map: FastHashMap::with_capacity_and_hasher(capacity.min(1 << 20), Default::default()),
             slab: Vec::new(),
             free: Vec::new(),
             head: NIL,

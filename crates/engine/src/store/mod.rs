@@ -110,6 +110,27 @@ impl TableSet {
     pub fn range_matches(&self, key: Key) -> usize {
         self.tables.values().filter(|t| t.range_contains(key)).count()
     }
+
+    /// Single-pass read probe: returns the [`TableSet::range_matches`]
+    /// count while filling `out` (cleared first) with the
+    /// [`TableSet::candidates_for`] ids in newest-first order. One table
+    /// walk instead of two, and no allocation when `out` has capacity —
+    /// this runs once per simulated read.
+    pub fn probe_into(&self, key: Key, out: &mut Vec<TableId>) -> usize {
+        out.clear();
+        let mut range_matches = 0;
+        for t in self.tables.values() {
+            if t.range_contains(key) {
+                range_matches += 1;
+                if t.may_contain(key) {
+                    out.push(t.id());
+                }
+            }
+        }
+        // Ids were collected in ascending (oldest-first) order.
+        out.reverse();
+        range_matches
+    }
 }
 
 #[cfg(test)]
@@ -168,6 +189,20 @@ mod tests {
         set.remove(a);
         let b = table(&mut set, &[2], 0, 1);
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn probe_into_matches_two_pass_queries() {
+        let mut set = TableSet::new();
+        table(&mut set, &[1, 2, 3], 0, 1);
+        table(&mut set, &[2, 3, 4], 0, 2);
+        table(&mut set, &[10, 20], 1, 3);
+        let mut scratch = Vec::new();
+        for k in [0u64, 1, 2, 4, 10, 15, 99] {
+            let n = set.probe_into(Key(k), &mut scratch);
+            assert_eq!(n, set.range_matches(Key(k)), "range count for key {k}");
+            assert_eq!(scratch, set.candidates_for(Key(k)), "candidates for key {k}");
+        }
     }
 
     #[test]

@@ -34,11 +34,13 @@ pub mod anova;
 pub mod descriptive;
 pub mod dist;
 pub mod histogram;
+pub mod parallel;
 pub mod special;
 
 pub use anova::{select_top_k_by_drop, OneWayAnova, ParameterEffect};
 pub use descriptive::Summary;
-pub use histogram::Histogram;
+pub use histogram::{Histogram, StreamingHistogram};
+pub use parallel::{mix64, parallel_indexed};
 
 /// Errors produced by statistical routines in this crate.
 #[derive(Debug, Clone, PartialEq, Eq)]
