@@ -1,5 +1,6 @@
-//! A small dependency-free flag parser for the CLI: `--name value` pairs
-//! plus a positional subcommand.
+//! A small dependency-free flag parser for the CLI: `--name value` /
+//! `--name=value` pairs plus a positional subcommand, with a declared set
+//! of boolean flags that take no value.
 
 use std::collections::HashMap;
 
@@ -26,21 +27,39 @@ impl std::error::Error for ArgError {}
 impl Args {
     /// Parses an argument list (without the program name).
     ///
+    /// Flags come in three forms:
+    ///
+    /// - `--name value` — a valued flag consuming the next argument;
+    /// - `--name=value` — the same, inline (works for boolean flags too,
+    ///   e.g. `--quick=false`);
+    /// - `--name` — allowed only for names in `boolean_flags`, recorded
+    ///   as `"true"`.
+    ///
     /// # Errors
     ///
-    /// Returns [`ArgError`] for a flag without a value, an unexpected
-    /// positional, or a repeated flag.
-    pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Self, ArgError> {
+    /// Returns [`ArgError`] for a non-boolean flag without a value, an
+    /// unexpected positional, or a repeated flag.
+    pub fn parse<I: IntoIterator<Item = String>>(
+        argv: I,
+        boolean_flags: &[&str],
+    ) -> Result<Self, ArgError> {
         let mut out = Args::default();
         let mut it = argv.into_iter();
         while let Some(arg) = it.next() {
             if let Some(name) = arg.strip_prefix("--") {
-                let value = if name == "help" || name == "quick" {
-                    "true".to_string()
+                let (name, value) = if let Some((name, value)) = name.split_once('=') {
+                    (name, value.to_string())
+                } else if boolean_flags.contains(&name) {
+                    (name, "true".to_string())
                 } else {
-                    it.next()
-                        .ok_or_else(|| ArgError(format!("--{name} needs a value")))?
+                    let value = it
+                        .next()
+                        .ok_or_else(|| ArgError(format!("--{name} needs a value")))?;
+                    (name, value)
                 };
+                if name.is_empty() {
+                    return Err(ArgError(format!("malformed flag: {arg}")));
+                }
                 if out.flags.insert(name.to_string(), value).is_some() {
                     return Err(ArgError(format!("--{name} given twice")));
                 }
@@ -58,9 +77,10 @@ impl Args {
         self.flags.get(name).map_or(default, String::as_str)
     }
 
-    /// Whether a boolean flag was given.
+    /// Whether a boolean flag is on: present and not explicitly
+    /// `--name=false`.
     pub fn has(&self, name: &str) -> bool {
-        self.flags.contains_key(name)
+        self.flags.get(name).is_some_and(|v| v != "false")
     }
 
     /// Numeric flag with a default.
@@ -87,8 +107,11 @@ impl Args {
 mod tests {
     use super::*;
 
+    /// The boolean-flag set used by most tests (mirrors the CLI's).
+    const BOOLS: &[&str] = &["help", "quick", "proactive"];
+
     fn parse(s: &str) -> Result<Args, ArgError> {
-        Args::parse(s.split_whitespace().map(String::from))
+        Args::parse(s.split_whitespace().map(String::from), BOOLS)
     }
 
     #[test]
@@ -108,11 +131,49 @@ mod tests {
     }
 
     #[test]
+    fn declared_boolean_set_is_honoured() {
+        // A name outside the declared set still consumes a value…
+        let a = Args::parse(
+            ["serve", "--verbose", "yes"].map(String::from),
+            &["help"],
+        )
+        .unwrap();
+        assert_eq!(a.get_or("verbose", ""), "yes");
+        // …and without one it errors instead of silently becoming a bool.
+        assert!(Args::parse(["serve", "--verbose"].map(String::from), &["help"]).is_err());
+        // The same name declared boolean parses standalone.
+        let b = Args::parse(["serve", "--verbose"].map(String::from), &["verbose"]).unwrap();
+        assert!(b.has("verbose"));
+    }
+
+    #[test]
+    fn equals_form_parses_values() {
+        let a = parse("bench --rr=0.25 --cm=leveled --quick").unwrap();
+        assert_eq!(a.num_or("rr", 0.0f64).unwrap(), 0.25);
+        assert_eq!(a.get_or("cm", ""), "leveled");
+        assert!(a.has("quick"));
+    }
+
+    #[test]
+    fn equals_form_can_disable_booleans() {
+        let a = parse("tune --quick=false").unwrap();
+        assert!(!a.has("quick"), "--quick=false must read as off");
+        let b = parse("tune --quick=true").unwrap();
+        assert!(b.has("quick"));
+        // An empty value is kept verbatim (and is not "false").
+        let c = parse("tune --tag=").unwrap();
+        assert_eq!(c.get_or("tag", "missing"), "");
+        assert!(c.has("tag"));
+    }
+
+    #[test]
     fn rejects_bad_input() {
         assert!(parse("tune --rr").is_err());
         assert!(parse("tune extra positional").is_err());
         assert!(parse("tune --rr 1 --rr 2").is_err());
+        assert!(parse("tune --rr=1 --rr 2").is_err(), "mixed forms still collide");
         assert!(parse("tune --rr abc").unwrap().num_or("rr", 0.5f64).is_err());
+        assert!(parse("tune --=3").is_err(), "empty flag name rejected");
     }
 
     #[test]

@@ -13,9 +13,11 @@ mod args;
 
 use args::{ArgError, Args};
 use rafiki::{
-    identify_key_parameters, EvalContext, RafikiTuner, ScreeningConfig, TunerConfig,
+    identify_key_parameters, ControllerConfig, EvalContext, RafikiTuner, ScreeningConfig,
+    TunerConfig,
 };
 use rafiki_engine::{run_benchmark, CompactionMethod, Engine, EngineConfig, ServerSpec};
+use rafiki_serve::{Client, ServeConfig, Server};
 use rafiki_workload::{
     BenchmarkSpec, MgRastModel, Regime, WorkloadGenerator, WorkloadSpec, YcsbPreset,
 };
@@ -37,10 +39,23 @@ USAGE:
       Benchmark one window of a saved trace on the default configuration.
   rafiki-tune ycsb    [--preset A] [--seconds 3]
       Benchmark a standard YCSB preset on the default configuration.
+  rafiki-tune serve   [--addr 127.0.0.1:7878] [--window 1000]
+                      [--proactive] [--quick]
+      Fit the tuner, then run the online tuning daemon until shutdown.
+  rafiki-tune client  [--addr 127.0.0.1:7878] [--rr 0.9] [--ops 2000]
+                      [--seed 0] | --stats | --shutdown
+      Stream generated operations at a daemon and print the latency
+      digest, or just query / stop it.
+
+Boolean flags (--quick, --proactive, --stats, --shutdown, --help) take
+no value; --flag=value works for every flag.
 ";
 
+/// Flags that take no value (`--quick` rather than `--quick true`).
+const BOOL_FLAGS: &[&str] = &["help", "quick", "proactive", "stats", "shutdown"];
+
 fn main() {
-    let args = match Args::parse(std::env::args().skip(1)) {
+    let args = match Args::parse(std::env::args().skip(1), BOOL_FLAGS) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}\n\n{USAGE}");
@@ -58,6 +73,8 @@ fn main() {
         Some("trace") => cmd_trace(&args),
         Some("replay") => cmd_replay(&args),
         Some("ycsb") => cmd_ycsb(&args),
+        Some("serve") => cmd_serve(&args),
+        Some("client") => cmd_client(&args),
         Some(other) => Err(ArgError(format!("unknown command: {other}"))),
         None => unreachable!("handled above"),
     };
@@ -235,6 +252,105 @@ fn cmd_replay(args: &Args) -> Result<(), ArgError> {
         r.avg_ops_per_sec,
         r.observed_read_ratio(),
         r.p99_latency_ms
+    );
+    Ok(())
+}
+
+fn cmd_serve(args: &Args) -> Result<(), ArgError> {
+    let addr = args.get_or("addr", "127.0.0.1:7878").to_string();
+    let ctx = context(args.has("quick"));
+    let mut tuner = RafikiTuner::new(ctx, TunerConfig::fast());
+    eprintln!("fitting the tuner (data collection + surrogate training)…");
+    tuner
+        .fit()
+        .map_err(|e| ArgError(format!("tuner fit failed: {e}")))?;
+    let cfg = ServeConfig {
+        window_ops: args.num_or("window", 1_000usize)?,
+        controller: ControllerConfig {
+            proactive: args.has("proactive"),
+            ..ControllerConfig::default()
+        },
+        ..ServeConfig::default()
+    };
+    let server =
+        Server::bind(addr.as_str(), tuner, cfg).map_err(|e| ArgError(format!("bind {addr}: {e}")))?;
+    eprintln!(
+        "serving on {} — one window per {} ops{}; send {{\"type\":\"shutdown\"}} to stop",
+        server
+            .local_addr()
+            .map_err(|e| ArgError(e.to_string()))?,
+        cfg.window_ops,
+        if cfg.controller.proactive {
+            ", proactive"
+        } else {
+            ""
+        }
+    );
+    let report = server.run().map_err(|e| ArgError(format!("serve: {e}")))?;
+    println!(
+        "served {} operations over {} windows ({} reoptimizations, {} reconfigurations)",
+        report.operations, report.windows_closed, report.reoptimizations, report.reconfigurations
+    );
+    Ok(())
+}
+
+fn cmd_client(args: &Args) -> Result<(), ArgError> {
+    let addr = args.get_or("addr", "127.0.0.1:7878");
+    let mut client =
+        Client::connect(addr).map_err(|e| ArgError(format!("connect {addr}: {e}")))?;
+    if args.has("shutdown") {
+        client
+            .shutdown()
+            .map_err(|e| ArgError(format!("shutdown: {e}")))?;
+        println!("daemon at {addr} acknowledged shutdown");
+        return Ok(());
+    }
+    if !args.has("stats") {
+        let rr: f64 = args.num_or("rr", 0.9)?;
+        let ops: usize = args.num_or("ops", 2_000usize)?;
+        let spec = WorkloadSpec {
+            initial_keys: 20_000,
+            ..WorkloadSpec::with_read_ratio(rr)
+        };
+        let mut workload = WorkloadGenerator::new(spec, args.num_or("seed", 0u64)?);
+        let h = client
+            .drive(&mut workload, ops)
+            .map_err(|e| ArgError(format!("stream failed: {e}")))?;
+        println!(
+            "client     : {} ops, mean {:.0} us, p50 {} us, p99 {} us, max {} us",
+            h.total(),
+            h.mean().unwrap_or(0.0),
+            h.quantile(0.5).unwrap_or(0),
+            h.quantile(0.99).unwrap_or(0),
+            h.max().unwrap_or(0)
+        );
+    }
+    let stats = client
+        .stats()
+        .map_err(|e| ArgError(format!("stats: {e}")))?;
+    println!(
+        "daemon     : {} ops, RR {:.2}, KRD {}, {} windows",
+        stats.operations,
+        stats.read_ratio,
+        stats
+            .krd_mean
+            .map_or("n/a".to_string(), |m| format!("{m:.0}")),
+        stats.windows_closed
+    );
+    println!(
+        "latency    : p50 {} us, p95 {} us, p99 {} us, max {} us",
+        stats.latency.p50_us, stats.latency.p95_us, stats.latency.p99_us, stats.latency.max_us
+    );
+    let report = client
+        .config()
+        .map_err(|e| ArgError(format!("config: {e}")))?;
+    println!(
+        "tuning     : {} reoptimizations, {} reconfigurations, active {} (cw={}, fcz={} MB)",
+        stats.reoptimizations,
+        stats.reconfigurations,
+        report.active.compaction_method,
+        report.active.concurrent_writes,
+        report.active.file_cache_size_mb
     );
     Ok(())
 }

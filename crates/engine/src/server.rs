@@ -281,6 +281,83 @@ impl Engine {
         self.metrics = EngineMetrics::default();
     }
 
+    /// Applies a new configuration to the *live* engine — the online
+    /// reconfiguration step of the middleware loop (§3.1 step 5). Stored
+    /// data survives (memtable, frozen buffers, SSTables); the
+    /// configuration-derived runtime state is rebuilt:
+    ///
+    /// - the compaction strategy follows `compaction_method`;
+    /// - the read/write worker pools are resized;
+    /// - caches whose capacity changed are rebuilt **cold** — part of the
+    ///   settle cost the controller's `reconfiguration_penalty` charges
+    ///   (unchanged caches keep their contents);
+    /// - the commit log is recreated under the new sync policy when any
+    ///   commit-log parameter changed.
+    ///
+    /// Hardware devices keep their state, so `trickle_fsync` (a
+    /// mount-level effect in the real system) only takes effect for
+    /// freshly built engines. In-flight background flushes and
+    /// compactions finish under the parameters they started with.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cfg` fails validation or when foreground operations
+    /// are in flight — reconfigure between completed operations, the way
+    /// the serving daemon does at window boundaries.
+    pub fn reconfigure(&mut self, cfg: EngineConfig) {
+        cfg.validate();
+        assert!(
+            self.in_flight_reads == 0 && self.in_flight_writes == 0,
+            "reconfigure with foreground operations in flight"
+        );
+        let old = std::mem::replace(&mut self.cfg, cfg);
+        let cfg = &self.cfg;
+
+        self.strategy = match cfg.compaction_method {
+            CompactionMethod::SizeTiered => {
+                let mut s = Strategy::size_tiered_default();
+                if self.flavor.compact_on_every_flush {
+                    if let Strategy::SizeTiered { min_threshold, .. } = &mut s {
+                        *min_threshold = 2;
+                    }
+                }
+                s
+            }
+            CompactionMethod::Leveled => Strategy::leveled_default(),
+        };
+
+        if cfg.concurrent_writes != old.concurrent_writes {
+            self.write_pool = WorkerPool::new(cfg.concurrent_writes as usize);
+        }
+        if cfg.concurrent_reads != old.concurrent_reads {
+            self.read_pool = WorkerPool::new(cfg.concurrent_reads as usize);
+        }
+
+        let block = self.spec.block_bytes as usize;
+        let blocks_of = |mb: u32| ((mb as usize) << 20) / block;
+        if cfg.file_cache_size_mb != old.file_cache_size_mb {
+            self.file_cache = LruCache::new(blocks_of(cfg.file_cache_size_mb));
+        }
+        if cfg.key_cache_size_mb != old.key_cache_size_mb {
+            self.key_cache = LruCache::new(((cfg.key_cache_size_mb as usize) << 20) / 64);
+        }
+        if cfg.row_cache_size_mb != old.row_cache_size_mb {
+            self.row_cache = LruCache::new(((cfg.row_cache_size_mb as usize) << 20) / 16_384);
+        }
+
+        if cfg.commitlog_sync != old.commitlog_sync
+            || cfg.commitlog_sync_period_ms != old.commitlog_sync_period_ms
+            || cfg.commitlog_segment_size_mb != old.commitlog_segment_size_mb
+        {
+            self.commitlog = CommitLog::new(
+                cfg.commitlog_sync,
+                (cfg.commitlog_segment_size_mb as u64) << 20,
+                SimDuration::from_millis_f64(cfg.commitlog_sync_period_ms as f64),
+                SimDuration::from_millis_f64(1.0),
+            );
+        }
+    }
+
     /// Number of live SSTables.
     pub fn table_count(&self) -> usize {
         self.tables.len()
@@ -1232,5 +1309,62 @@ mod tests {
         let ops: Vec<Operation> = (0..1_000).map(|_| Operation::read(Key(42))).collect();
         run_ops(&mut e, ops);
         assert!(e.metrics().row_cache_hits > 900);
+    }
+
+    #[test]
+    fn reconfigure_swaps_parameters_and_keeps_data() {
+        let mut e = engine(EngineConfig::default());
+        let warm: Vec<Operation> = (0..5_000)
+            .map(|i| {
+                if i % 4 == 0 {
+                    Operation::insert(Key(60_000 + i), 800)
+                } else {
+                    Operation::read(Key(i % 50_000))
+                }
+            })
+            .collect();
+        run_ops(&mut e, warm);
+        let tables_before = e.table_count();
+        let bytes_before = e.on_disk_bytes();
+        assert!(tables_before > 0 && bytes_before > 0);
+        let metrics_before = *e.metrics();
+
+        let mut next = EngineConfig::default();
+        next.compaction_method = CompactionMethod::Leveled;
+        next.concurrent_writes = 64;
+        next.file_cache_size_mb = 1_024;
+        next.row_cache_size_mb = 64;
+        e.reconfigure(next.clone());
+
+        assert_eq!(*e.config(), next);
+        assert_eq!(e.table_count(), tables_before, "data must survive");
+        assert_eq!(e.on_disk_bytes(), bytes_before);
+
+        // The engine keeps serving: reads on preloaded keys, new inserts,
+        // and the row cache enabled by the new config all take effect.
+        let after: Vec<Operation> = (0..2_000)
+            .map(|i| {
+                if i % 4 == 0 {
+                    Operation::insert(Key(90_000 + i), 800)
+                } else {
+                    Operation::read(Key(42))
+                }
+            })
+            .collect();
+        let completions = run_ops(&mut e, after);
+        assert_eq!(completions.len(), 2_000);
+        let m = e.metrics();
+        assert!(m.reads_completed > metrics_before.reads_completed);
+        assert!(m.writes_completed > metrics_before.writes_completed);
+        assert!(m.row_cache_hits > 1_000, "new row cache must serve hits");
+    }
+
+    #[test]
+    #[should_panic(expected = "concurrent_writes")]
+    fn reconfigure_rejects_invalid_config() {
+        let mut e = engine(EngineConfig::default());
+        let mut bad = EngineConfig::default();
+        bad.concurrent_writes = 0;
+        e.reconfigure(bad);
     }
 }

@@ -1,0 +1,133 @@
+//! A blocking client for the daemon's wire protocol: one request frame
+//! out, one response frame back. Doubles as the load generator for the
+//! CLI (`rafiki client`) and the loopback tests.
+
+use crate::protocol::{ConfigReport, Request, Response, StatsReport};
+use crate::wire::Json;
+use rafiki_stats::StreamingHistogram;
+use rafiki_workload::{Operation, OperationSource};
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A connection to a running [`crate::Server`].
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a daemon.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Client {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+        })
+    }
+
+    /// Sends one request and reads its response frame.
+    ///
+    /// # Errors
+    ///
+    /// Fails on socket errors, an unparsable response, or a closed
+    /// connection.
+    pub fn call(&mut self, request: &Request) -> io::Result<Response> {
+        self.writer
+            .write_all(request.to_json().encode().as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        let parsed = Json::parse(line.trim())
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        Response::from_json(&parsed).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
+    /// Executes one operation; returns its simulated latency in
+    /// microseconds.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors or a server-side `error` frame.
+    pub fn op(&mut self, op: Operation) -> io::Result<u64> {
+        match self.call(&Request::Op(op))? {
+            Response::Done { latency_us } => Ok(latency_us),
+            Response::Error { message } => Err(io::Error::other(message)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Fetches the aggregate statistics report.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors or a server-side `error` frame.
+    pub fn stats(&mut self) -> io::Result<StatsReport> {
+        match self.call(&Request::Stats)? {
+            Response::Stats(report) => Ok(report),
+            Response::Error { message } => Err(io::Error::other(message)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Fetches the active configuration and reconfiguration history.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors or a server-side `error` frame.
+    pub fn config(&mut self) -> io::Result<ConfigReport> {
+        match self.call(&Request::Config)? {
+            Response::Config(report) => Ok(report),
+            Response::Error { message } => Err(io::Error::other(message)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Asks the daemon to shut down; returns once it acknowledges.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors or an unexpected response.
+    pub fn shutdown(&mut self) -> io::Result<()> {
+        match self.call(&Request::Shutdown)? {
+            Response::Bye => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Load-generator mode: pulls `ops` operations from `source`, executes
+    /// them in order, and returns the client-side latency histogram
+    /// (merge-able into others via [`StreamingHistogram::merge`]).
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first operation that errors.
+    pub fn drive<S: OperationSource + ?Sized>(
+        &mut self,
+        source: &mut S,
+        ops: usize,
+    ) -> io::Result<StreamingHistogram> {
+        let mut histogram = StreamingHistogram::new();
+        for _ in 0..ops {
+            histogram.record(self.op(source.next_op())?);
+        }
+        Ok(histogram)
+    }
+}
+
+fn unexpected(response: &Response) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("unexpected response: {response:?}"),
+    )
+}

@@ -1,0 +1,525 @@
+//! Typed request/response frames and their JSON mapping.
+//!
+//! One frame per line. Requests:
+//!
+//! ```json
+//! {"type":"op","kind":"read","key":42}
+//! {"type":"op","kind":"insert","key":7,"len":800}
+//! {"type":"op","kind":"scan","key":100,"len":50}
+//! {"type":"stats"}
+//! {"type":"config"}
+//! {"type":"shutdown"}
+//! ```
+//!
+//! Responses mirror the request kind: `done` (with the simulated latency)
+//! for operations, `stats`/`config` reports, `bye` for shutdown, and
+//! `error` with a message for malformed or failed requests.
+
+use crate::wire::Json;
+use rafiki_engine::{CompactionMethod, EngineConfig};
+use rafiki_workload::{Key, OpKind, Operation};
+
+/// A client-to-server frame.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Request {
+    /// Execute one datastore operation.
+    Op(Operation),
+    /// Report aggregate statistics.
+    Stats,
+    /// Report the active configuration and reconfiguration history.
+    Config,
+    /// Stop the daemon (all connections drain, the accept loop exits).
+    Shutdown,
+}
+
+/// Aggregated latency digest, from the merged per-client histograms.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LatencySummary {
+    /// Operations recorded.
+    pub count: u64,
+    /// Mean latency in microseconds.
+    pub mean_us: f64,
+    /// Median latency in microseconds.
+    pub p50_us: u64,
+    /// 95th-percentile latency in microseconds.
+    pub p95_us: u64,
+    /// 99th-percentile latency in microseconds.
+    pub p99_us: u64,
+    /// Maximum latency in microseconds.
+    pub max_us: u64,
+}
+
+/// Engine work completed during the most recently closed window
+/// (a [`rafiki_engine::EngineMetrics`] delta).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct WindowActivity {
+    /// Reads completed in the window.
+    pub reads_completed: u64,
+    /// Writes completed in the window.
+    pub writes_completed: u64,
+    /// Memtable flushes in the window.
+    pub flushes: u64,
+    /// Compactions in the window.
+    pub compactions: u64,
+}
+
+/// The `stats` response payload.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct StatsReport {
+    /// Operations observed by the characterizer.
+    pub operations: u64,
+    /// Whole-stream read ratio.
+    pub read_ratio: f64,
+    /// Streaming KRD mean (operations), when any reuse was observed.
+    pub krd_mean: Option<f64>,
+    /// Characterization windows closed so far.
+    pub windows_closed: u64,
+    /// Controller re-optimizations (GA runs).
+    pub reoptimizations: u64,
+    /// Applied configuration switches.
+    pub reconfigurations: u64,
+    /// Latency digest across all clients.
+    pub latency: LatencySummary,
+    /// Engine activity in the last closed window.
+    pub last_window: WindowActivity,
+}
+
+/// The key tuning parameters of a configuration, as reported on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConfigSummary {
+    /// Compaction method (`"size_tiered"` or `"leveled"`).
+    pub compaction_method: String,
+    /// Writer pool size.
+    pub concurrent_writes: u32,
+    /// Reader pool size.
+    pub concurrent_reads: u32,
+    /// File (block) cache size in MB.
+    pub file_cache_size_mb: u32,
+    /// Row cache size in MB.
+    pub row_cache_size_mb: u32,
+    /// Key cache size in MB.
+    pub key_cache_size_mb: u32,
+    /// Memtable heap space in MB.
+    pub memtable_heap_space_mb: u32,
+}
+
+impl From<&EngineConfig> for ConfigSummary {
+    fn from(cfg: &EngineConfig) -> Self {
+        ConfigSummary {
+            compaction_method: match cfg.compaction_method {
+                CompactionMethod::SizeTiered => "size_tiered".to_string(),
+                CompactionMethod::Leveled => "leveled".to_string(),
+            },
+            concurrent_writes: cfg.concurrent_writes,
+            concurrent_reads: cfg.concurrent_reads,
+            file_cache_size_mb: cfg.file_cache_size_mb,
+            row_cache_size_mb: cfg.row_cache_size_mb,
+            key_cache_size_mb: cfg.key_cache_size_mb,
+            memtable_heap_space_mb: cfg.memtable_heap_space_mb,
+        }
+    }
+}
+
+/// One applied reconfiguration, as reported by the `config` endpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReconfigEvent {
+    /// Window index whose closure triggered the switch.
+    pub window: u64,
+    /// Read ratio of that window.
+    pub read_ratio: f64,
+    /// Tuner-predicted throughput of the new configuration.
+    pub predicted_throughput: f64,
+    /// The configuration that was applied.
+    pub to: ConfigSummary,
+}
+
+/// The `config` response payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConfigReport {
+    /// The currently active configuration.
+    pub active: ConfigSummary,
+    /// Every applied reconfiguration, oldest first.
+    pub events: Vec<ReconfigEvent>,
+}
+
+/// A server-to-client frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// An operation completed with the given simulated latency.
+    Done {
+        /// Simulated operation latency in microseconds.
+        latency_us: u64,
+    },
+    /// Statistics report.
+    Stats(StatsReport),
+    /// Configuration report.
+    Config(ConfigReport),
+    /// Shutdown acknowledged; the server closes the connection.
+    Bye,
+    /// The request failed.
+    Error {
+        /// What went wrong.
+        message: String,
+    },
+}
+
+fn num(n: u64) -> Json {
+    Json::Num(n as f64)
+}
+
+fn require<'j>(v: &'j Json, key: &str) -> Result<&'j Json, String> {
+    v.get(key).ok_or_else(|| format!("missing field: {key}"))
+}
+
+fn require_u64(v: &Json, key: &str) -> Result<u64, String> {
+    require(v, key)?
+        .as_u64()
+        .ok_or_else(|| format!("field {key} must be a non-negative integer"))
+}
+
+fn require_f64(v: &Json, key: &str) -> Result<f64, String> {
+    require(v, key)?
+        .as_f64()
+        .ok_or_else(|| format!("field {key} must be a number"))
+}
+
+fn require_str<'j>(v: &'j Json, key: &str) -> Result<&'j str, String> {
+    require(v, key)?
+        .as_str()
+        .ok_or_else(|| format!("field {key} must be a string"))
+}
+
+impl Request {
+    /// Encodes the request as a JSON value.
+    pub fn to_json(&self) -> Json {
+        match self {
+            Request::Op(op) => {
+                let kind = match op.kind {
+                    OpKind::Read => "read",
+                    OpKind::Insert => "insert",
+                    OpKind::Update => "update",
+                    OpKind::Delete => "delete",
+                    OpKind::Scan => "scan",
+                };
+                let mut pairs = vec![
+                    ("type", Json::str("op")),
+                    ("kind", Json::str(kind)),
+                    ("key", num(op.key.0)),
+                ];
+                if op.payload_len > 0 {
+                    pairs.push(("len", num(op.payload_len as u64)));
+                }
+                Json::obj(pairs)
+            }
+            Request::Stats => Json::obj(vec![("type", Json::str("stats"))]),
+            Request::Config => Json::obj(vec![("type", Json::str("config"))]),
+            Request::Shutdown => Json::obj(vec![("type", Json::str("shutdown"))]),
+        }
+    }
+
+    /// Decodes a request frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the malformed field.
+    pub fn from_json(v: &Json) -> Result<Request, String> {
+        match require_str(v, "type")? {
+            "op" => {
+                let key = Key(require_u64(v, "key")?);
+                let len = match v.get("len") {
+                    None => 0,
+                    Some(l) => u32::try_from(
+                        l.as_u64().ok_or("field len must be a non-negative integer")?,
+                    )
+                    .map_err(|_| "field len too large".to_string())?,
+                };
+                let op = match require_str(v, "kind")? {
+                    "read" => Operation::read(key),
+                    "insert" => Operation::insert(key, len),
+                    "update" => Operation::update(key, len),
+                    "delete" => Operation::delete(key),
+                    "scan" if len > 0 => Operation::scan(key, len),
+                    "scan" => return Err("scan needs len >= 1".to_string()),
+                    other => return Err(format!("unknown op kind: {other}")),
+                };
+                Ok(Request::Op(op))
+            }
+            "stats" => Ok(Request::Stats),
+            "config" => Ok(Request::Config),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(format!("unknown request type: {other}")),
+        }
+    }
+}
+
+impl ConfigSummary {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("compaction_method", Json::str(&self.compaction_method)),
+            ("concurrent_writes", num(self.concurrent_writes as u64)),
+            ("concurrent_reads", num(self.concurrent_reads as u64)),
+            ("file_cache_size_mb", num(self.file_cache_size_mb as u64)),
+            ("row_cache_size_mb", num(self.row_cache_size_mb as u64)),
+            ("key_cache_size_mb", num(self.key_cache_size_mb as u64)),
+            (
+                "memtable_heap_space_mb",
+                num(self.memtable_heap_space_mb as u64),
+            ),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<ConfigSummary, String> {
+        let u32_of = |key: &str| -> Result<u32, String> {
+            u32::try_from(require_u64(v, key)?).map_err(|_| format!("field {key} too large"))
+        };
+        Ok(ConfigSummary {
+            compaction_method: require_str(v, "compaction_method")?.to_string(),
+            concurrent_writes: u32_of("concurrent_writes")?,
+            concurrent_reads: u32_of("concurrent_reads")?,
+            file_cache_size_mb: u32_of("file_cache_size_mb")?,
+            row_cache_size_mb: u32_of("row_cache_size_mb")?,
+            key_cache_size_mb: u32_of("key_cache_size_mb")?,
+            memtable_heap_space_mb: u32_of("memtable_heap_space_mb")?,
+        })
+    }
+}
+
+impl Response {
+    /// Encodes the response as a JSON value.
+    pub fn to_json(&self) -> Json {
+        match self {
+            Response::Done { latency_us } => Json::obj(vec![
+                ("type", Json::str("done")),
+                ("latency_us", num(*latency_us)),
+            ]),
+            Response::Stats(s) => {
+                let latency = Json::obj(vec![
+                    ("count", num(s.latency.count)),
+                    ("mean_us", Json::Num(s.latency.mean_us)),
+                    ("p50_us", num(s.latency.p50_us)),
+                    ("p95_us", num(s.latency.p95_us)),
+                    ("p99_us", num(s.latency.p99_us)),
+                    ("max_us", num(s.latency.max_us)),
+                ]);
+                let window = Json::obj(vec![
+                    ("reads_completed", num(s.last_window.reads_completed)),
+                    ("writes_completed", num(s.last_window.writes_completed)),
+                    ("flushes", num(s.last_window.flushes)),
+                    ("compactions", num(s.last_window.compactions)),
+                ]);
+                Json::obj(vec![
+                    ("type", Json::str("stats")),
+                    ("operations", num(s.operations)),
+                    ("read_ratio", Json::Num(s.read_ratio)),
+                    ("krd_mean", s.krd_mean.map_or(Json::Null, Json::Num)),
+                    ("windows_closed", num(s.windows_closed)),
+                    ("reoptimizations", num(s.reoptimizations)),
+                    ("reconfigurations", num(s.reconfigurations)),
+                    ("latency", latency),
+                    ("last_window", window),
+                ])
+            }
+            Response::Config(c) => Json::obj(vec![
+                ("type", Json::str("config")),
+                ("active", c.active.to_json()),
+                (
+                    "events",
+                    Json::Arr(
+                        c.events
+                            .iter()
+                            .map(|e| {
+                                Json::obj(vec![
+                                    ("window", num(e.window)),
+                                    ("read_ratio", Json::Num(e.read_ratio)),
+                                    (
+                                        "predicted_throughput",
+                                        Json::Num(e.predicted_throughput),
+                                    ),
+                                    ("to", e.to.to_json()),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+            Response::Bye => Json::obj(vec![("type", Json::str("bye"))]),
+            Response::Error { message } => Json::obj(vec![
+                ("type", Json::str("error")),
+                ("message", Json::str(message)),
+            ]),
+        }
+    }
+
+    /// Decodes a response frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the malformed field.
+    pub fn from_json(v: &Json) -> Result<Response, String> {
+        match require_str(v, "type")? {
+            "done" => Ok(Response::Done {
+                latency_us: require_u64(v, "latency_us")?,
+            }),
+            "stats" => {
+                let latency = require(v, "latency")?;
+                let window = require(v, "last_window")?;
+                Ok(Response::Stats(StatsReport {
+                    operations: require_u64(v, "operations")?,
+                    read_ratio: require_f64(v, "read_ratio")?,
+                    krd_mean: match require(v, "krd_mean")? {
+                        Json::Null => None,
+                        other => Some(
+                            other.as_f64().ok_or("field krd_mean must be a number")?,
+                        ),
+                    },
+                    windows_closed: require_u64(v, "windows_closed")?,
+                    reoptimizations: require_u64(v, "reoptimizations")?,
+                    reconfigurations: require_u64(v, "reconfigurations")?,
+                    latency: LatencySummary {
+                        count: require_u64(latency, "count")?,
+                        mean_us: require_f64(latency, "mean_us")?,
+                        p50_us: require_u64(latency, "p50_us")?,
+                        p95_us: require_u64(latency, "p95_us")?,
+                        p99_us: require_u64(latency, "p99_us")?,
+                        max_us: require_u64(latency, "max_us")?,
+                    },
+                    last_window: WindowActivity {
+                        reads_completed: require_u64(window, "reads_completed")?,
+                        writes_completed: require_u64(window, "writes_completed")?,
+                        flushes: require_u64(window, "flushes")?,
+                        compactions: require_u64(window, "compactions")?,
+                    },
+                }))
+            }
+            "config" => {
+                let active = ConfigSummary::from_json(require(v, "active")?)?;
+                let events = require(v, "events")?
+                    .as_arr()
+                    .ok_or("field events must be an array")?
+                    .iter()
+                    .map(|e| {
+                        Ok(ReconfigEvent {
+                            window: require_u64(e, "window")?,
+                            read_ratio: require_f64(e, "read_ratio")?,
+                            predicted_throughput: require_f64(e, "predicted_throughput")?,
+                            to: ConfigSummary::from_json(require(e, "to")?)?,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, String>>()?;
+                Ok(Response::Config(ConfigReport { active, events }))
+            }
+            "bye" => Ok(Response::Bye),
+            "error" => Ok(Response::Error {
+                message: require_str(v, "message")?.to_string(),
+            }),
+            other => Err(format!("unknown response type: {other}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip() {
+        let frames = [
+            Request::Op(Operation::read(Key(42))),
+            Request::Op(Operation::insert(Key(7), 800)),
+            Request::Op(Operation::update(Key(9), 256)),
+            Request::Op(Operation::delete(Key(1))),
+            Request::Op(Operation::scan(Key(100), 50)),
+            Request::Stats,
+            Request::Config,
+            Request::Shutdown,
+        ];
+        for frame in frames {
+            let line = frame.to_json().encode();
+            let back = Request::from_json(&Json::parse(&line).unwrap()).unwrap();
+            assert_eq!(back, frame, "{line}");
+        }
+    }
+
+    #[test]
+    fn op_frame_wire_format_is_stable() {
+        let line = Request::Op(Operation::insert(Key(7), 800)).to_json().encode();
+        assert_eq!(line, r#"{"type":"op","kind":"insert","key":7,"len":800}"#);
+        let read = Request::Op(Operation::read(Key(3))).to_json().encode();
+        assert_eq!(read, r#"{"type":"op","kind":"read","key":3}"#);
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let summary = ConfigSummary::from(&EngineConfig::default());
+        let frames = [
+            Response::Done { latency_us: 731 },
+            Response::Stats(StatsReport {
+                operations: 12_000,
+                read_ratio: 0.83,
+                krd_mean: Some(412.5),
+                windows_closed: 12,
+                reoptimizations: 3,
+                reconfigurations: 2,
+                latency: LatencySummary {
+                    count: 12_000,
+                    mean_us: 812.25,
+                    p50_us: 700,
+                    p95_us: 1_900,
+                    p99_us: 3_200,
+                    max_us: 9_000,
+                },
+                last_window: WindowActivity {
+                    reads_completed: 800,
+                    writes_completed: 200,
+                    flushes: 2,
+                    compactions: 1,
+                },
+            }),
+            Response::Stats(StatsReport::default()),
+            Response::Config(ConfigReport {
+                active: summary.clone(),
+                events: vec![ReconfigEvent {
+                    window: 4,
+                    read_ratio: 0.1,
+                    predicted_throughput: 15_000.0,
+                    to: summary,
+                }],
+            }),
+            Response::Bye,
+            Response::Error {
+                message: "scan needs len >= 1".to_string(),
+            },
+        ];
+        for frame in frames {
+            let line = frame.to_json().encode();
+            let back = Response::from_json(&Json::parse(&line).unwrap()).unwrap();
+            assert_eq!(back, frame, "{line}");
+        }
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected() {
+        for bad in [
+            r#"{"kind":"read","key":1}"#,
+            r#"{"type":"op","kind":"read"}"#,
+            r#"{"type":"op","kind":"warp","key":1}"#,
+            r#"{"type":"op","kind":"scan","key":1}"#,
+            r#"{"type":"op","kind":"read","key":-3}"#,
+            r#"{"type":"noop"}"#,
+        ] {
+            let v = Json::parse(bad).unwrap();
+            assert!(Request::from_json(&v).is_err(), "{bad} must be rejected");
+        }
+    }
+
+    #[test]
+    fn config_summary_tracks_engine_config() {
+        let mut cfg = EngineConfig::default();
+        cfg.compaction_method = CompactionMethod::Leveled;
+        cfg.concurrent_writes = 96;
+        let s = ConfigSummary::from(&cfg);
+        assert_eq!(s.compaction_method, "leveled");
+        assert_eq!(s.concurrent_writes, 96);
+        assert_eq!(s.file_cache_size_mb, cfg.file_cache_size_mb);
+    }
+}

@@ -1,0 +1,411 @@
+//! The middleware daemon: a TCP server that executes client operations
+//! against a live simulated engine while characterizing the stream and
+//! retuning the engine online.
+//!
+//! One [`Server`] owns a fitted [`RafikiTuner`] plus the listening
+//! socket. [`Server::run`] builds the live pipeline — engine,
+//! [`OnlineCharacterizer`], [`OnlineController`] — and serves connections
+//! on scoped threads until a `shutdown` frame arrives. Every `op` frame
+//! is executed to completion on the simulated clock under one lock, so
+//! the engine is always foreground-quiescent when a characterization
+//! window closes and a reconfiguration can be applied in place via
+//! [`Engine::reconfigure`].
+
+use crate::protocol::{
+    ConfigReport, ConfigSummary, LatencySummary, ReconfigEvent, Request, Response, StatsReport,
+    WindowActivity,
+};
+use crate::wire::Json;
+use rafiki::{ControllerConfig, OnlineController, RafikiTuner};
+use rafiki_engine::{Engine, EngineMetrics, OpCompletion, ServerSpec};
+use rafiki_stats::StreamingHistogram;
+use rafiki_workload::{OnlineCharacterizer, Operation, WindowSummary};
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard};
+use std::time::Duration;
+
+/// How often blocked reads wake up to check the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(25);
+/// Per-connection latency samples are merged into the shared histogram
+/// in batches of this size (and on every `stats` request / disconnect).
+const MERGE_BATCH: u64 = 128;
+
+/// Daemon settings.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeConfig {
+    /// Operations per characterization window (the discrete analogue of
+    /// the paper's 15-minute windows).
+    pub window_ops: usize,
+    /// Distinct keys the streaming KRD estimator may track.
+    pub krd_capacity: usize,
+    /// Online-controller settings (thresholds, proactive mode).
+    pub controller: ControllerConfig,
+    /// Keys preloaded into the engine before serving.
+    pub preload_keys: u64,
+    /// Payload size of preloaded rows, in bytes.
+    pub preload_payload: u32,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            window_ops: 1_000,
+            krd_capacity: 1 << 16,
+            controller: ControllerConfig::default(),
+            preload_keys: 20_000,
+            preload_payload: 1_000,
+        }
+    }
+}
+
+/// What a daemon did over its lifetime, returned by [`Server::run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeReport {
+    /// Operations executed.
+    pub operations: u64,
+    /// Characterization windows closed.
+    pub windows_closed: u64,
+    /// Controller re-optimizations (GA runs).
+    pub reoptimizations: u64,
+    /// Configurations applied to the live engine.
+    pub reconfigurations: u64,
+}
+
+/// The online tuning middleware daemon.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    tuner: RafikiTuner,
+    cfg: ServeConfig,
+    stop: AtomicBool,
+}
+
+/// Everything the connection handlers share, behind one mutex.
+///
+/// Operations are short (one simulated op fully stepped per lock
+/// acquisition), so a single lock keeps the whole pipeline — engine,
+/// characterizer, controller — trivially consistent: a window can only
+/// close between operations, when no foreground work is in flight.
+struct Shared<'t> {
+    engine: Engine,
+    characterizer: OnlineCharacterizer,
+    controller: OnlineController<'t>,
+    histogram: StreamingHistogram,
+    events: Vec<ReconfigEvent>,
+    reoptimizations: u64,
+    windows_closed: u64,
+    window_start_metrics: EngineMetrics,
+    last_window: WindowActivity,
+    next_token: u64,
+    completions: Vec<OpCompletion>,
+}
+
+impl Server {
+    /// Binds the daemon to `addr` (use port 0 for an ephemeral port).
+    ///
+    /// # Errors
+    ///
+    /// Fails on socket errors, or with [`io::ErrorKind::InvalidInput`]
+    /// when the tuner has not been fitted.
+    pub fn bind<A: ToSocketAddrs>(addr: A, tuner: RafikiTuner, cfg: ServeConfig) -> io::Result<Server> {
+        if tuner.surrogate().is_none() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "the tuner must be fitted before serving",
+            ));
+        }
+        Ok(Server {
+            listener: TcpListener::bind(addr)?,
+            tuner,
+            cfg,
+            stop: AtomicBool::new(false),
+        })
+    }
+
+    /// The bound address (the actual port when bound to port 0).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Requests the accept loop to exit; equivalent to a `shutdown` frame.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+    }
+
+    /// Serves connections until a `shutdown` frame arrives (or [`Server::stop`]
+    /// is called), then drains every connection and reports the lifetime
+    /// totals.
+    ///
+    /// # Errors
+    ///
+    /// Propagates accept-loop socket errors. Per-connection I/O errors
+    /// only drop that connection.
+    pub fn run(&self) -> io::Result<ServeReport> {
+        let controller = OnlineController::new(&self.tuner, self.cfg.controller)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, format!("{e:?}")))?;
+        let mut engine = Engine::new(controller.active_config().clone(), ServerSpec::default());
+        if self.cfg.preload_keys > 0 {
+            engine.preload(self.cfg.preload_keys, self.cfg.preload_payload);
+        }
+        let window_start_metrics = *engine.metrics();
+        let shared = Mutex::new(Shared {
+            engine,
+            characterizer: OnlineCharacterizer::new(self.cfg.window_ops, self.cfg.krd_capacity),
+            controller,
+            histogram: StreamingHistogram::new(),
+            events: Vec::new(),
+            reoptimizations: 0,
+            windows_closed: 0,
+            window_start_metrics,
+            last_window: WindowActivity::default(),
+            next_token: 0,
+            completions: Vec::new(),
+        });
+
+        self.listener.set_nonblocking(true)?;
+        std::thread::scope(|scope| -> io::Result<()> {
+            loop {
+                if self.stop.load(Ordering::SeqCst) {
+                    return Ok(());
+                }
+                match self.listener.accept() {
+                    Ok((stream, _peer)) => {
+                        let shared = &shared;
+                        let stop = &self.stop;
+                        scope.spawn(move || {
+                            // I/O errors just drop this connection.
+                            let _ = serve_connection(stream, shared, stop);
+                        });
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(POLL_INTERVAL);
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(e) => return Err(e),
+                }
+            }
+        })?;
+
+        let s = lock(&shared);
+        Ok(ServeReport {
+            operations: s.characterizer.operations(),
+            windows_closed: s.windows_closed,
+            reoptimizations: s.reoptimizations,
+            reconfigurations: s.events.len() as u64,
+        })
+    }
+}
+
+/// Locks the shared state, recovering from a poisoned mutex (a panicking
+/// connection thread must not take the daemon down with it).
+fn lock<'a, 't>(shared: &'a Mutex<Shared<'t>>) -> MutexGuard<'a, Shared<'t>> {
+    shared.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+fn serve_connection(
+    stream: TcpStream,
+    shared: &Mutex<Shared<'_>>,
+    stop: &AtomicBool,
+) -> io::Result<()> {
+    stream.set_nodelay(true).ok();
+    stream.set_read_timeout(Some(POLL_INTERVAL))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    let mut local = StreamingHistogram::new();
+    let mut pending = 0u64;
+    let mut line = String::new();
+
+    'conn: loop {
+        line.clear();
+        // Accumulate one full line; a read timeout mid-frame keeps the
+        // partial line and re-polls so no bytes are lost.
+        let appended = loop {
+            match reader.read_line(&mut line) {
+                Ok(n) => break n,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    if stop.load(Ordering::SeqCst) {
+                        break 'conn;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        };
+        if appended == 0 && line.is_empty() {
+            break; // clean EOF
+        }
+        if line.trim().is_empty() {
+            if appended == 0 {
+                break;
+            }
+            continue;
+        }
+        let response = respond(&line, shared, stop, &mut local, &mut pending);
+        let bye = response == Response::Bye;
+        writer.write_all(response.to_json().encode().as_bytes())?;
+        writer.write_all(b"\n")?;
+        if bye || appended == 0 {
+            break;
+        }
+    }
+    if local.total() > 0 {
+        lock(shared).histogram.merge(&local);
+    }
+    Ok(())
+}
+
+fn respond(
+    line: &str,
+    shared: &Mutex<Shared<'_>>,
+    stop: &AtomicBool,
+    local: &mut StreamingHistogram,
+    pending: &mut u64,
+) -> Response {
+    let parsed = match Json::parse(line.trim()) {
+        Ok(v) => v,
+        Err(e) => {
+            return Response::Error {
+                message: format!("malformed json: {e}"),
+            }
+        }
+    };
+    let request = match Request::from_json(&parsed) {
+        Ok(r) => r,
+        Err(message) => return Response::Error { message },
+    };
+    match request {
+        Request::Op(op) => {
+            let latency_us = execute_op(&mut lock(shared), op);
+            local.record(latency_us);
+            *pending += 1;
+            if *pending >= MERGE_BATCH {
+                lock(shared).histogram.merge(local);
+                *local = StreamingHistogram::new();
+                *pending = 0;
+            }
+            Response::Done { latency_us }
+        }
+        Request::Stats => {
+            let mut s = lock(shared);
+            // Fold this client's not-yet-merged samples in first, so a
+            // client's own view is always up to date.
+            s.histogram.merge(local);
+            *local = StreamingHistogram::new();
+            *pending = 0;
+            Response::Stats(stats_of(&s))
+        }
+        Request::Config => {
+            let s = lock(shared);
+            Response::Config(ConfigReport {
+                active: ConfigSummary::from(s.engine.config()),
+                events: s.events.clone(),
+            })
+        }
+        Request::Shutdown => {
+            stop.store(true, Ordering::SeqCst);
+            Response::Bye
+        }
+    }
+}
+
+/// Runs one operation on the simulated clock to completion, feeds it to
+/// the characterizer, and lets the controller react to a closed window.
+fn execute_op(s: &mut Shared<'_>, op: Operation) -> u64 {
+    let token = s.next_token;
+    s.next_token += 1;
+    let ready = s.engine.clock();
+    s.engine.submit(token, op, ready);
+    s.completions.clear();
+    let latency_us = 'done: loop {
+        let stepped = s.engine.step_into(&mut s.completions);
+        debug_assert!(stepped, "a submitted operation always completes");
+        if !stepped {
+            break 0;
+        }
+        for c in s.completions.drain(..) {
+            if c.token == token {
+                break 'done c.latency().0 / 1_000;
+            }
+        }
+    };
+    s.histogram_window_hook(op);
+    latency_us
+}
+
+impl Shared<'_> {
+    /// Post-op bookkeeping: characterize, and close the window when this
+    /// operation completed one.
+    fn histogram_window_hook(&mut self, op: Operation) {
+        if let Some(summary) = self.characterizer.observe(&op) {
+            self.close_window(summary);
+        }
+    }
+
+    fn close_window(&mut self, window: WindowSummary) {
+        self.windows_closed += 1;
+        let snapshot = *self.engine.metrics();
+        let delta = snapshot.delta(&self.window_start_metrics);
+        self.window_start_metrics = snapshot;
+        self.last_window = WindowActivity {
+            reads_completed: delta.reads_completed,
+            writes_completed: delta.writes_completed,
+            flushes: delta.flushes,
+            compactions: delta.compactions,
+        };
+        // The tuner was checked at construction, so the controller cannot
+        // fail here; a defensive skip keeps the daemon serving regardless.
+        let Ok(decision) = self
+            .controller
+            .observe_window(window.index, window.read_ratio)
+        else {
+            return;
+        };
+        if decision.reoptimized {
+            self.reoptimizations += 1;
+        }
+        if decision.switched {
+            let cfg = self.controller.active_config().clone();
+            self.events.push(ReconfigEvent {
+                window: window.index as u64,
+                read_ratio: window.read_ratio,
+                predicted_throughput: decision.predicted_throughput,
+                to: ConfigSummary::from(&cfg),
+            });
+            // Every foreground op is stepped to completion under the lock,
+            // so the engine is quiescent here and the swap is safe.
+            self.engine.reconfigure(cfg);
+        }
+    }
+}
+
+fn stats_of(s: &Shared<'_>) -> StatsReport {
+    let h = &s.histogram;
+    StatsReport {
+        operations: s.characterizer.operations(),
+        read_ratio: s.characterizer.read_ratio(),
+        krd_mean: s.characterizer.krd_mean(),
+        windows_closed: s.windows_closed,
+        reoptimizations: s.reoptimizations,
+        reconfigurations: s.events.len() as u64,
+        latency: LatencySummary {
+            count: h.total(),
+            mean_us: h.mean().unwrap_or(0.0),
+            p50_us: h.quantile(0.5).unwrap_or(0),
+            p95_us: h.quantile(0.95).unwrap_or(0),
+            p99_us: h.quantile(0.99).unwrap_or(0),
+            max_us: h.max().unwrap_or(0),
+        },
+        last_window: s.last_window,
+    }
+}

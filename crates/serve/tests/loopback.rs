@@ -1,0 +1,160 @@
+//! End-to-end loopback test: a real daemon on an ephemeral port, a real
+//! client streaming a regime shift over TCP, and a live reconfiguration
+//! observed through the wire protocol.
+
+use rafiki::{ControllerConfig, EvalContext, RafikiTuner, TunerConfig};
+use rafiki_engine::EngineConfig;
+use rafiki_serve::{Client, ConfigSummary, ServeConfig, Server};
+use rafiki_workload::{characterize, Operation, ReplaySource, WorkloadGenerator, WorkloadSpec};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::mpsc;
+use std::time::Duration;
+
+const WINDOW_OPS: usize = 400;
+const PHASE_WINDOWS: usize = 3;
+
+/// The whole scenario runs under a generous watchdog so a wedged socket
+/// or a lost frame fails the test instead of hanging CI.
+#[test]
+fn loopback_regime_shift_retunes_the_live_engine() {
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        scenario();
+        tx.send(()).ok();
+    });
+    match rx.recv_timeout(Duration::from_secs(600)) {
+        Ok(()) => {}
+        Err(mpsc::RecvTimeoutError::Timeout) => panic!("loopback scenario timed out"),
+        Err(mpsc::RecvTimeoutError::Disconnected) => panic!("loopback scenario panicked"),
+    }
+}
+
+fn scenario() {
+    let mut tuner = RafikiTuner::new(EvalContext::small(), TunerConfig::fast());
+    tuner.fit().expect("tuner fit");
+    let serve_cfg = ServeConfig {
+        window_ops: WINDOW_OPS,
+        krd_capacity: 1 << 16,
+        // Switch on any predicted improvement: the test cares that the
+        // reconfiguration machinery fires, not about the switching policy.
+        controller: ControllerConfig {
+            min_predicted_gain: 0.0,
+            ..ControllerConfig::default()
+        },
+        preload_keys: 20_000,
+        preload_payload: 1_000,
+    };
+    let server = Server::bind("127.0.0.1:0", tuner, serve_cfg).expect("bind ephemeral port");
+    let addr = server.local_addr().expect("local addr");
+
+    // The operation stream: a hard read-heavy -> write-heavy shift, built
+    // up front so the daemon's streaming characterization can be checked
+    // against the batch characterizer over the exact same operations.
+    let spec = |rr: f64| WorkloadSpec {
+        initial_keys: 20_000,
+        ..WorkloadSpec::with_read_ratio(rr)
+    };
+    let mut ops: Vec<Operation> = Vec::new();
+    let mut read_heavy = WorkloadGenerator::new(spec(0.95), 11);
+    ops.extend((0..PHASE_WINDOWS * WINDOW_OPS).map(|_| read_heavy.next_op()));
+    let mut write_heavy = WorkloadGenerator::new(spec(0.05), 13);
+    ops.extend((0..PHASE_WINDOWS * WINDOW_OPS).map(|_| write_heavy.next_op()));
+    let total_ops = ops.len() as u64;
+
+    std::thread::scope(|scope| {
+        let handle = scope.spawn(|| server.run().expect("server run"));
+        let mut client = Client::connect(addr).expect("connect");
+
+        let initial = client.config().expect("initial config");
+        assert_eq!(initial.active, ConfigSummary::from(&EngineConfig::default()));
+        assert!(initial.events.is_empty(), "no reconfigurations yet");
+
+        let mut source = ReplaySource::new(ops.clone());
+        let histogram = client.drive(&mut source, ops.len()).expect("drive stream");
+        assert_eq!(histogram.total(), total_ops);
+
+        let stats = client.stats().expect("stats");
+        assert_eq!(stats.operations, total_ops);
+        assert_eq!(stats.windows_closed, (2 * PHASE_WINDOWS) as u64);
+        assert!(
+            stats.reoptimizations >= 2,
+            "the first window and the regime shift must both re-optimize, got {}",
+            stats.reoptimizations
+        );
+        assert!(
+            stats.reconfigurations >= 1,
+            "the shift must apply at least one configuration"
+        );
+
+        // The streaming characterization matches the batch one over the
+        // same operations (no eviction at this capacity, so exactly).
+        let batch = characterize::characterize(&ops);
+        assert!((stats.read_ratio - batch.read_ratio).abs() < 1e-9);
+        let (s, b) = (
+            stats.krd_mean.expect("stream saw reuse"),
+            batch.krd_mean.expect("batch saw reuse"),
+        );
+        assert!((s - b).abs() / b < 1e-9, "streamed KRD {s} vs batch {b}");
+
+        // Latency digest sanity: ordered quantiles, positive mean, and
+        // the server-side count matches the client-side histogram.
+        let l = stats.latency;
+        assert_eq!(l.count, total_ops);
+        assert!(l.p50_us <= l.p95_us && l.p95_us <= l.p99_us && l.p99_us <= l.max_us);
+        assert!(l.mean_us > 0.0);
+        assert_eq!(histogram.max().unwrap(), l.max_us);
+        // Every window runs exactly WINDOW_OPS foreground operations, and
+        // the per-window metrics delta must account for all of them.
+        assert_eq!(
+            stats.last_window.reads_completed + stats.last_window.writes_completed,
+            WINDOW_OPS as u64
+        );
+
+        let report = client.config().expect("config after shift");
+        assert_eq!(report.events.len() as u64, stats.reconfigurations);
+        assert!(
+            report.events.iter().any(|e| e.to != initial.active),
+            "an applied configuration must differ from the initial one"
+        );
+        let last = report.events.last().expect("at least one event");
+        assert_eq!(report.active, last.to, "active config is the last applied");
+        assert!(last.predicted_throughput > 0.0);
+
+        // A second concurrent connection sees the same aggregate state.
+        let mut other = Client::connect(addr).expect("second client");
+        let other_stats = other.stats().expect("second client stats");
+        assert_eq!(other_stats.operations, total_ops);
+        assert_eq!(other_stats.latency.count, total_ops);
+
+        // Malformed frames get an error frame, and the connection stays
+        // usable afterwards.
+        let raw = TcpStream::connect(addr).expect("raw connect");
+        let mut raw_reader = BufReader::new(raw.try_clone().expect("clone"));
+        let mut raw_writer = raw;
+        let mut line = String::new();
+        raw_writer.write_all(b"not json at all\n").expect("send garbage");
+        raw_reader.read_line(&mut line).expect("error frame");
+        assert!(line.contains("\"error\""), "got: {line}");
+        line.clear();
+        raw_writer
+            .write_all(b"{\"type\":\"op\",\"kind\":\"scan\",\"key\":1}\n")
+            .expect("send invalid scan");
+        raw_reader.read_line(&mut line).expect("error frame");
+        assert!(line.contains("scan needs len"), "got: {line}");
+        line.clear();
+        raw_writer
+            .write_all(b"{\"type\":\"op\",\"kind\":\"read\",\"key\":7}\n")
+            .expect("send valid op");
+        raw_reader.read_line(&mut line).expect("done frame");
+        assert!(line.contains("\"done\""), "got: {line}");
+        drop(raw_writer);
+
+        client.shutdown().expect("shutdown");
+        let report = handle.join().expect("server thread");
+        assert_eq!(report.operations, total_ops + 1, "plus the raw-socket read");
+        assert_eq!(report.windows_closed, (2 * PHASE_WINDOWS) as u64);
+        assert_eq!(report.reconfigurations, stats.reconfigurations);
+        assert!(report.reoptimizations >= stats.reoptimizations);
+    });
+}

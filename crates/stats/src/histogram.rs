@@ -220,6 +220,27 @@ impl StreamingHistogram {
         (self.total > 0).then_some(self.min)
     }
 
+    /// Merges another histogram into this one. Because both sides share
+    /// the same fixed bucket layout, merging is exact: the result is
+    /// indistinguishable from having recorded every observation of both
+    /// histograms into one. Used to aggregate per-client latency
+    /// histograms into the `stats` view of the serving daemon.
+    pub fn merge(&mut self, other: &StreamingHistogram) {
+        if other.total == 0 {
+            return;
+        }
+        if other.counts.len() > self.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
     /// The `q`-quantile (`0 < q <= 1`) by the nearest-rank definition:
     /// the smallest recorded value whose cumulative count reaches
     /// `ceil(q * total)`. For `n = 100` and `q = 0.99` this is the 99th
@@ -368,6 +389,48 @@ mod tests {
                 "q={q}: approx {approx} vs exact {exact}"
             );
         }
+    }
+
+    #[test]
+    fn streaming_merge_of_halves_equals_whole() {
+        // Counts, totals, extremes and every interesting quantile of
+        // merge(first half, second half) must equal the histogram of the
+        // whole stream.
+        let values: Vec<u64> = (0..9_999u64).map(|i| (i * 2_654_435_761) % 5_000_000).collect();
+        let mut whole = StreamingHistogram::new();
+        let mut first = StreamingHistogram::new();
+        let mut second = StreamingHistogram::new();
+        for (i, &v) in values.iter().enumerate() {
+            whole.record(v);
+            if i < values.len() / 2 {
+                first.record(v);
+            } else {
+                second.record(v);
+            }
+        }
+        let mut merged = first.clone();
+        merged.merge(&second);
+        assert_eq!(merged, whole, "merge must be bucket-exact");
+        assert_eq!(merged.total(), whole.total());
+        assert_eq!(merged.min(), whole.min());
+        assert_eq!(merged.max(), whole.max());
+        assert_eq!(merged.mean(), whole.mean());
+        for &q in &[0.01, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            assert_eq!(merged.quantile(q), whole.quantile(q), "quantile {q}");
+        }
+    }
+
+    #[test]
+    fn streaming_merge_with_empty_is_identity() {
+        let mut h = StreamingHistogram::new();
+        h.record(42);
+        h.record(7);
+        let snapshot = h.clone();
+        h.merge(&StreamingHistogram::new());
+        assert_eq!(h, snapshot);
+        let mut empty = StreamingHistogram::new();
+        empty.merge(&snapshot);
+        assert_eq!(empty, snapshot);
     }
 
     #[test]

@@ -14,6 +14,8 @@
 //! - [`trace`] — the regime-switching [`MgRastModel`] reproducing Figure 3's
 //!   abrupt read-heavy/write-heavy/mixed transitions;
 //! - [`characterize`] — RR/KRD extraction from observed operation streams;
+//! - [`online`] — the bounded-memory streaming counterpart
+//!   ([`OnlineCharacterizer`]), used by the serving daemon;
 //! - [`driver`] — [`BenchmarkSpec`]/[`BenchmarkResult`], the YCSB-like
 //!   harness contract.
 //!
@@ -35,11 +37,13 @@ pub mod characterize;
 pub mod driver;
 pub mod forecast;
 pub mod generator;
+pub mod online;
 pub mod op;
 pub mod trace;
 pub mod ycsb;
 
 pub use characterize::Characterization;
+pub use online::{OnlineCharacterizer, WindowSummary};
 pub use forecast::RegimeMarkovForecaster;
 pub use ycsb::YcsbPreset;
 pub use driver::{BenchmarkResult, BenchmarkSpec, ThroughputSample};
