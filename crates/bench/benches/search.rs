@@ -8,11 +8,14 @@ use rafiki_neural::{Dataset, Matrix, SurrogateConfig, SurrogateModel, TrainConfi
 
 fn key_param_ga_space() -> SearchSpace {
     SearchSpace::new(vec![
-        GeneSpec::Categorical { options: 2 },        // compaction method
-        GeneSpec::Int { min: 2, max: 128 },           // concurrent writes
-        GeneSpec::Int { min: 32, max: 512 },          // file cache MB
-        GeneSpec::Real { min: 0.05, max: 0.90 },      // memtable cleanup
-        GeneSpec::Int { min: 1, max: 16 },            // concurrent compactors
+        GeneSpec::Categorical { options: 2 }, // compaction method
+        GeneSpec::Int { min: 2, max: 128 },   // concurrent writes
+        GeneSpec::Int { min: 32, max: 512 },  // file cache MB
+        GeneSpec::Real {
+            min: 0.05,
+            max: 0.90,
+        }, // memtable cleanup
+        GeneSpec::Int { min: 1, max: 16 },    // concurrent compactors
     ])
 }
 
@@ -28,8 +31,7 @@ fn trained_surrogate() -> SurrogateModel {
         let cc = 1.0 + 15.0 * (((i * 13) % 100) as f64 / 99.0);
         rows.push(vec![rr, cm, cw, fcz, mt, cc]);
         targets.push(
-            90_000.0 - 35_000.0 * rr + 25_000.0 * cm * rr - 900.0 * (cw - 40.0).abs()
-                + 18.0 * fcz
+            90_000.0 - 35_000.0 * rr + 25_000.0 * cm * rr - 900.0 * (cw - 40.0).abs() + 18.0 * fcz
                 - 12_000.0 * (mt - 0.4).powi(2)
                 - 400.0 * cc,
         );

@@ -19,8 +19,7 @@ fn synthetic_dataset(n: usize) -> Dataset {
         let cc = 1.0 + 15.0 * (((i * 13) % 100) as f64 / 99.0);
         rows.push(vec![rr, cm, cw, fcz, mt, cc]);
         targets.push(
-            90_000.0 - 35_000.0 * rr + 25_000.0 * cm * rr - 900.0 * (cw - 40.0).abs()
-                + 18.0 * fcz
+            90_000.0 - 35_000.0 * rr + 25_000.0 * cm * rr - 900.0 * (cw - 40.0).abs() + 18.0 * fcz
                 - 12_000.0 * (mt - 0.4).powi(2)
                 - 400.0 * cc,
         );

@@ -1,0 +1,76 @@
+//! CI gate for the committed benchmark records.
+//!
+//! Every `BENCH_*.json` at the repository root must parse as JSON and
+//! carry `"measured": true` — a placeholder or hand-edited record fails
+//! the build instead of silently shipping unmeasured numbers. Extra
+//! paths can be passed as arguments (the CI job points this at freshly
+//! regenerated copies too); with no arguments the known committed set
+//! is checked.
+//!
+//! Exit code 0 = all records measured and well-formed; 1 otherwise.
+
+use rafiki_serve::wire::Json;
+use std::path::{Path, PathBuf};
+
+/// The committed benchmark records this repository promises to keep
+/// measured. Adding a `BENCH_*.json` to the repo root means adding it
+/// here, or the gate will not protect it.
+const COMMITTED: &[&str] = &["BENCH_grid.json", "BENCH_search.json", "BENCH_serve.json"];
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("resolve repository root")
+}
+
+/// Checks one record; returns a human-readable failure reason.
+fn check(path: &Path) -> Result<(), String> {
+    let raw = std::fs::read_to_string(path).map_err(|e| format!("unreadable: {e}"))?;
+    let json = Json::parse(&raw).map_err(|e| format!("does not parse as JSON: {e}"))?;
+    match json.get("measured") {
+        Some(Json::Bool(true)) => {}
+        Some(Json::Bool(false)) => {
+            return Err(
+                "says \"measured\": false — regenerate it with the matching \
+                 rafiki-bench binary instead of committing a placeholder"
+                    .to_string(),
+            )
+        }
+        Some(other) => return Err(format!("has a non-boolean \"measured\": {other:?}")),
+        None => return Err("has no \"measured\" field".to_string()),
+    }
+    match json.get("experiment") {
+        Some(Json::Str(_)) => Ok(()),
+        _ => Err("has no \"experiment\" name".to_string()),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let targets: Vec<PathBuf> = if args.is_empty() {
+        let root = repo_root();
+        COMMITTED.iter().map(|n| root.join(n)).collect()
+    } else {
+        args.iter().map(PathBuf::from).collect()
+    };
+
+    let mut failures = 0usize;
+    for path in &targets {
+        match check(path) {
+            Ok(()) => println!("[bench-check] ok      {}", path.display()),
+            Err(why) => {
+                eprintln!("[bench-check] FAILED  {}: {why}", path.display());
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!(
+            "[bench-check] {failures} of {} records failed",
+            targets.len()
+        );
+        std::process::exit(1);
+    }
+    println!("[bench-check] all {} records measured", targets.len());
+}

@@ -1,0 +1,8 @@
+//! Regenerates `BENCH_serve.json` via
+//! [`rafiki_bench::experiments::bench_serve`]. Pass `--quick` for a reduced run.
+
+fn main() {
+    let quick = rafiki_bench::experiments::quick_flag();
+    let findings = rafiki_bench::experiments::bench_serve::run(quick);
+    println!("\n{}", rafiki_bench::experiments::findings_table(&findings));
+}

@@ -14,7 +14,10 @@ fn main() {
     for rr in [0.0, 0.2, 0.4, 0.6, 0.8, 1.0] {
         let t0 = Instant::now();
         let tput = ctx.measure(rr, &cfg);
-        println!("RR={rr:.1}: {tput:>8.0} ops/s   ({:.2?} real)", t0.elapsed());
+        println!(
+            "RR={rr:.1}: {tput:>8.0} ops/s   ({:.2?} real)",
+            t0.elapsed()
+        );
     }
 
     println!("\n== CM effect at RR=0.9 / 0.5 / 0.1 ==");
@@ -23,7 +26,10 @@ fn main() {
         lc.compaction_method = CompactionMethod::Leveled;
         let st = ctx.measure(rr, &cfg);
         let lv = ctx.measure(rr, &lc);
-        println!("RR={rr:.1}: STCS {st:>8.0}  LCS {lv:>8.0}  (LCS {:+.1}%)", (lv / st - 1.0) * 100.0);
+        println!(
+            "RR={rr:.1}: STCS {st:>8.0}  LCS {lv:>8.0}  (LCS {:+.1}%)",
+            (lv / st - 1.0) * 100.0
+        );
     }
 
     println!("\n== Fig-6 CM x CW interdependency (RR=0.5) ==");

@@ -73,7 +73,13 @@ pub fn run(quick: bool) -> Vec<Finding> {
         row.extend((0..MODEL_NAMES.len()).map(|m| format!("{:.1}%", sums[d][m] / t)));
         rows.push(row);
     }
-    let headers = ["holdout", MODEL_NAMES[0], MODEL_NAMES[1], MODEL_NAMES[2], MODEL_NAMES[3]];
+    let headers = [
+        "holdout",
+        MODEL_NAMES[0],
+        MODEL_NAMES[1],
+        MODEL_NAMES[2],
+        MODEL_NAMES[3],
+    ];
     let table = crate::markdown_table(&headers, &rows);
     crate::write_output("ablation_surrogates.md", &table);
     println!("{table}");

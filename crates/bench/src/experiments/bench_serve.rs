@@ -1,0 +1,276 @@
+//! Wire-path benchmark for the `rafiki-serve` daemon.
+//!
+//! Measures loopback throughput and frame round-trip latency of the
+//! online tuning daemon as a function of client count and frame size
+//! (batch 1 = the unbatched one-op-per-frame protocol, batch 32/256 =
+//! the multi-op `batch` frame added for exactly this comparison), and
+//! records the comparison in `BENCH_serve.json` (same conventions as
+//! `BENCH_grid.json` / `BENCH_search.json`).
+//!
+//! The serve window is set larger than the measured stream so the
+//! controller never re-optimizes mid-measurement: this benchmark times
+//! the wire path (framing, syscalls, locking), not the GA.
+
+use super::Finding;
+use rafiki::{CollectionPlan, ControllerConfig, EvalContext, RafikiTuner, TunerConfig};
+use rafiki_serve::{Client, ServeConfig, Server};
+use rafiki_workload::{BenchmarkSpec, OperationSource, WorkloadGenerator, WorkloadSpec};
+use std::net::SocketAddr;
+use std::sync::Barrier;
+use std::time::Instant;
+
+/// Read ratio of the benchmark stream.
+const READ_RATIO: f64 = 0.9;
+/// Keys preloaded into the daemon's engine (and named by the stream).
+const PRELOAD_KEYS: u64 = 5_000;
+/// Frame sizes compared: unbatched baseline vs two batched settings.
+const BATCHES: [usize; 3] = [1, 32, 256];
+
+/// One measured `(clients, batch)` cell.
+#[derive(Debug, Clone, Copy)]
+struct Cell {
+    clients: usize,
+    batch: usize,
+    total_ops: usize,
+    wall_secs: f64,
+    ops_per_sec: f64,
+    frame_p50_us: u64,
+    frame_p99_us: u64,
+}
+
+/// A small fitted tuner: `Server::bind` requires one, but this
+/// benchmark never lets a window close, so only fit *speed* matters.
+fn fitted_tuner() -> RafikiTuner {
+    let ctx = EvalContext {
+        bench: BenchmarkSpec {
+            duration_secs: 0.5,
+            warmup_secs: 0.1,
+            clients: 8,
+            sample_window_secs: 0.25,
+        },
+        workload: WorkloadSpec {
+            initial_keys: PRELOAD_KEYS,
+            ..WorkloadSpec::with_read_ratio(0.5)
+        },
+        preload_keys: PRELOAD_KEYS,
+        preload_payload: 200,
+        seed: crate::EXPERIMENT_SEED,
+        ..EvalContext::small()
+    };
+    let cfg = TunerConfig {
+        collection: CollectionPlan {
+            configurations: 3,
+            read_ratios: vec![0.0, 0.5, 1.0],
+            ..CollectionPlan::default()
+        },
+        ..TunerConfig::fast()
+    };
+    let mut tuner = RafikiTuner::new(ctx, cfg);
+    tuner.fit().expect("bench_serve tuner fit");
+    tuner
+}
+
+/// The operation stream one benchmark client sends.
+fn ops_stream(ops: usize, seed: u64) -> Vec<rafiki_workload::Operation> {
+    let spec = WorkloadSpec {
+        initial_keys: PRELOAD_KEYS,
+        ..WorkloadSpec::with_read_ratio(READ_RATIO)
+    };
+    let mut gen = WorkloadGenerator::new(spec, seed);
+    (0..ops).map(|_| gen.next_op()).collect()
+}
+
+/// One client streaming pregenerated operations in `batch`-op frames;
+/// returns per-frame round-trip times in nanoseconds. Generation
+/// happens before the start barrier so the timed window contains only
+/// wire traffic.
+fn client_run(addr: SocketAddr, batch: usize, ops: usize, seed: u64, start: &Barrier) -> Vec<u64> {
+    let mut client = Client::connect(addr).expect("bench client connect");
+    let stream = ops_stream(ops, seed);
+    let mut frames = Vec::with_capacity(ops / batch.max(1) + 1);
+    start.wait();
+    if batch <= 1 {
+        for &op in &stream {
+            let t = Instant::now();
+            client.op(op).expect("bench op");
+            frames.push(t.elapsed().as_nanos() as u64);
+        }
+    } else {
+        for chunk in stream.chunks(batch) {
+            let t = Instant::now();
+            client.batch(chunk).expect("bench batch");
+            frames.push(t.elapsed().as_nanos() as u64);
+        }
+    }
+    frames
+}
+
+/// Drives the fresh daemon's engine past its post-preload compaction
+/// storm so the timed cells see steady-state per-op cost. A fresh
+/// engine spends ~4x more per op over its first ~20k operations while
+/// the preload's overlapping runs compact down.
+fn warm_up(addr: SocketAddr, ops: usize) {
+    let mut client = Client::connect(addr).expect("warmup connect");
+    for chunk in ops_stream(ops, crate::EXPERIMENT_SEED ^ 0x5eed).chunks(256) {
+        client.batch(chunk).expect("warmup batch");
+    }
+}
+
+fn quantile_us(sorted_ns: &[u64], q: f64) -> u64 {
+    if sorted_ns.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted_ns.len() - 1) as f64 * q).round() as usize;
+    sorted_ns[idx] / 1_000
+}
+
+/// Measures one `(clients, batch)` cell against a fresh daemon.
+fn measure(clients: usize, batch: usize, ops_per_client: usize, warmup_ops: usize) -> Cell {
+    let total_ops = clients * ops_per_client;
+    let cfg = ServeConfig {
+        // Never close a window during warmup or measurement.
+        window_ops: 2 * (warmup_ops + total_ops) + 1,
+        krd_capacity: 1 << 14,
+        controller: ControllerConfig::default(),
+        preload_keys: PRELOAD_KEYS,
+        preload_payload: 200,
+    };
+    let server = Server::bind("127.0.0.1:0", fitted_tuner(), cfg).expect("bench bind");
+    let addr = server.local_addr().expect("bench local addr");
+
+    // Clients pregenerate their streams, then start together.
+    let start = Barrier::new(clients + 1);
+    let (wall_secs, mut frames_ns) = std::thread::scope(|scope| {
+        let handle = scope.spawn(|| server.run().expect("bench server run"));
+        warm_up(addr, warmup_ops);
+        let workers: Vec<_> = (0..clients)
+            .map(|c| {
+                let seed = crate::EXPERIMENT_SEED + c as u64;
+                let start = &start;
+                scope.spawn(move || client_run(addr, batch, ops_per_client, seed, start))
+            })
+            .collect();
+        start.wait();
+        let t0 = Instant::now();
+        let mut frames_ns: Vec<u64> = Vec::new();
+        for w in workers {
+            frames_ns.extend(w.join().expect("bench client thread"));
+        }
+        let wall_secs = t0.elapsed().as_secs_f64();
+        Client::connect(addr)
+            .expect("shutdown connect")
+            .shutdown()
+            .expect("shutdown");
+        handle.join().expect("bench server thread");
+        (wall_secs, frames_ns)
+    });
+
+    frames_ns.sort_unstable();
+    Cell {
+        clients,
+        batch,
+        total_ops,
+        wall_secs,
+        ops_per_sec: total_ops as f64 / wall_secs.max(1e-9),
+        frame_p50_us: quantile_us(&frames_ns, 0.50),
+        frame_p99_us: quantile_us(&frames_ns, 0.99),
+    }
+}
+
+/// Regenerates the serve wire-path record (`BENCH_serve.json`).
+pub fn run(quick: bool) -> Vec<Finding> {
+    let (client_counts, ops_per_client, warmup_ops): (&[usize], usize, usize) = if quick {
+        (&[1, 2], 2_000, 5_000)
+    } else {
+        (&[1, 4], 30_000, 25_000)
+    };
+
+    let mut cells: Vec<Cell> = Vec::new();
+    for &clients in client_counts {
+        for batch in BATCHES {
+            let cell = measure(clients, batch, ops_per_client, warmup_ops);
+            println!(
+                "[serve] {} client(s), batch {:>3}: {:>9.0} ops/s, \
+                 frame p50 {} us, p99 {} us",
+                cell.clients, cell.batch, cell.ops_per_sec, cell.frame_p50_us, cell.frame_p99_us
+            );
+            cells.push(cell);
+        }
+    }
+
+    // Headline ratio per client count: batch=256 throughput over the
+    // unbatched baseline at the same concurrency.
+    let speedup_at = |clients: usize| -> f64 {
+        let of = |batch: usize| {
+            cells
+                .iter()
+                .find(|c| c.clients == clients && c.batch == batch)
+                .expect("measured cell")
+                .ops_per_sec
+        };
+        of(256) / of(1).max(1e-9)
+    };
+    let speedups: Vec<(usize, f64)> = client_counts.iter().map(|&c| (c, speedup_at(c))).collect();
+    let mean_speedup = speedups.iter().map(|s| s.1).sum::<f64>() / speedups.len() as f64;
+
+    let mut json = String::from(
+        "{\n  \"experiment\": \"bench_serve\",\n  \"units\": \"ops_per_sec and microseconds\",\n  \
+         \"measured\": true,\n",
+    );
+    json.push_str(&format!(
+        "  \"read_ratio\": {READ_RATIO},\n  \"ops_per_client\": {ops_per_client},\n  \
+         \"warmup_ops\": {warmup_ops},\n  \"cells\": [\n"
+    ));
+    for (i, c) in cells.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"clients\": {}, \"batch\": {}, \"total_ops\": {}, \"wall_secs\": {:.6}, \
+             \"ops_per_sec\": {:.0}, \"frame_p50_us\": {}, \"frame_p99_us\": {}}}{}\n",
+            c.clients,
+            c.batch,
+            c.total_ops,
+            c.wall_secs,
+            c.ops_per_sec,
+            c.frame_p50_us,
+            c.frame_p99_us,
+            if i + 1 < cells.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n  \"speedup_batch256_vs_unbatched\": [\n");
+    for (i, (clients, ratio)) in speedups.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"clients\": {clients}, \"ratio\": {ratio:.2}}}{}\n",
+            if i + 1 < speedups.len() { "," } else { "" }
+        ));
+    }
+    json.push_str(&format!(
+        "  ],\n  \"mean_speedup\": {mean_speedup:.2}\n}}\n"
+    ));
+    crate::write_output("BENCH_serve.json", &json);
+    crate::write_repo_root("BENCH_serve.json", &json);
+
+    let single = speedups.first().expect("at least one client count");
+    vec![
+        Finding::new(
+            "serve wire path",
+            "batched (256) vs unbatched frame throughput",
+            "(not in paper — wire-protocol engineering of the online daemon)",
+            format!(
+                "{:.1}x at {} client(s), {:.1}x mean across {:?} clients",
+                single.1, single.0, mean_speedup, client_counts
+            ),
+        ),
+        Finding::new(
+            "serve wire path",
+            "frame round-trip latency",
+            "(not in paper)",
+            {
+                let base = cells.iter().find(|c| c.batch == 1).expect("baseline cell");
+                let big = cells.iter().find(|c| c.batch == 256).expect("batch cell");
+                format!(
+                    "p50 {} us/frame unbatched vs {} us/frame for 256-op frames",
+                    base.frame_p50_us, big.frame_p50_us
+                )
+            },
+        ),
+    ]
+}

@@ -83,7 +83,10 @@ pub fn dataset_to_csv(data: &PerfDataset) -> String {
     }
     out.push('\n');
     for s in &data.samples {
-        out.push_str(&format!("{},{},{}", s.read_ratio, s.config_index, s.throughput));
+        out.push_str(&format!(
+            "{},{},{}",
+            s.read_ratio, s.config_index, s.throughput
+        ));
         for g in &s.genome {
             out.push_str(&format!(",{g}"));
         }
@@ -139,7 +142,11 @@ pub fn load_or_collect_dataset(
         let data = dataset_from_csv(&csv);
         let expected = plan.configurations * plan.read_ratios.len();
         if data.len() == expected {
-            println!("[dataset] loaded {} samples from {}", data.len(), path.display());
+            println!(
+                "[dataset] loaded {} samples from {}",
+                data.len(),
+                path.display()
+            );
             return data;
         }
     }
@@ -153,7 +160,10 @@ pub fn load_or_collect_dataset(
     let data = plan.collect(ctx, space);
     println!("[dataset] collected in {:.1?}", t0.elapsed());
     crate::write_output(
-        path.file_name().expect("cache file name").to_str().expect("utf8"),
+        path.file_name()
+            .expect("cache file name")
+            .to_str()
+            .expect("utf8"),
         &dataset_to_csv(&data),
     );
     data

@@ -40,7 +40,9 @@ pub fn run(quick: bool) -> Vec<Finding> {
     // The two long-horizon runs are independent simulations on the same
     // workload seed, so they run concurrently through the shared parallel
     // runner; each worker builds its own engine and generator.
-    println!("[fig10] Cassandra-like and ScyllaDB-like runs ({duration:.0} simulated s, concurrent)…");
+    println!(
+        "[fig10] Cassandra-like and ScyllaDB-like runs ({duration:.0} simulated s, concurrent)…"
+    );
     let mut results = parallel_indexed(2, |i| {
         let mut engine = if i == 0 {
             Engine::new(EngineConfig::default(), spec)
@@ -82,18 +84,16 @@ pub fn run(quick: bool) -> Vec<Finding> {
         swing(&s)
     );
 
-    vec![
-        Finding::new(
-            "Fig 10",
-            "throughput stability (10-s windows, RR = 70%)",
-            "ScyllaDB fluctuates significantly (up to ~60%); Cassandra is stable",
-            format!(
-                "CV: Cassandra {:.3} vs ScyllaDB {:.3}; peak-to-trough swing {:.0}% vs {:.0}%",
-                c.throughput_cv(),
-                s.throughput_cv(),
-                swing(&c),
-                swing(&s)
-            ),
+    vec![Finding::new(
+        "Fig 10",
+        "throughput stability (10-s windows, RR = 70%)",
+        "ScyllaDB fluctuates significantly (up to ~60%); Cassandra is stable",
+        format!(
+            "CV: Cassandra {:.3} vs ScyllaDB {:.3}; peak-to-trough swing {:.0}% vs {:.0}%",
+            c.throughput_cv(),
+            s.throughput_cv(),
+            swing(&c),
+            swing(&s)
         ),
-    ]
+    )]
 }

@@ -48,7 +48,10 @@ pub fn run(quick: bool) -> Vec<Finding> {
         }
         dwells.push(len);
         let short = dwells.iter().filter(|&&d| d == 1).count();
-        format!("{:.0}% of dwells are a single window", 100.0 * short as f64 / dwells.len() as f64)
+        format!(
+            "{:.0}% of dwells are a single window",
+            100.0 * short as f64 / dwells.len() as f64
+        )
     };
 
     println!(

@@ -22,7 +22,8 @@ pub fn fit_experiment_tuner(ctx: &EvalContext, quick: bool) -> RafikiTuner {
     let plan = paper_collection_plan(quick);
     let dataset = load_or_collect_dataset("cassandra", ctx, &space, &plan);
     let t0 = std::time::Instant::now();
-    let surrogate = SurrogateModel::fit(&dataset.to_training_data(), &paper_surrogate_config(quick));
+    let surrogate =
+        SurrogateModel::fit(&dataset.to_training_data(), &paper_surrogate_config(quick));
     println!(
         "[surrogate] trained {} nets (kept {}) in {:.1?}",
         if quick { 6 } else { 20 },
@@ -72,7 +73,11 @@ pub fn run(quick: bool) -> Vec<Finding> {
         .into_iter()
         .step_by(2)
         .collect();
-    let exhaustive_rrs = if quick { vec![0.5] } else { vec![0.1, 0.5, 0.9] };
+    let exhaustive_rrs = if quick {
+        vec![0.5]
+    } else {
+        vec![0.1, 0.5, 0.9]
+    };
     let mut points: Vec<(f64, EngineConfig)> = Vec::new();
     for &rr in &exhaustive_rrs {
         for g in &grid {
@@ -114,7 +119,11 @@ pub fn run(quick: bool) -> Vec<Finding> {
     crate::write_output("fig4_default_vs_rafiki.csv", &csv);
 
     let avg = |pred: &dyn Fn(f64) -> bool| {
-        let sel: Vec<f64> = gains.iter().filter(|(rr, _)| pred(*rr)).map(|&(_, g)| g).collect();
+        let sel: Vec<f64> = gains
+            .iter()
+            .filter(|(rr, _)| pred(*rr))
+            .map(|&(_, g)| g)
+            .collect();
         if sel.is_empty() {
             0.0
         } else {
@@ -143,7 +152,12 @@ pub fn run(quick: bool) -> Vec<Finding> {
             {
                 let d0 = ctx.measure(0.0, &default_cfg);
                 let d1 = ctx.measure(1.0, &default_cfg);
-                format!("default {:.0} ops/s at RR=0 -> {:.0} at RR=1 ({:.0}% swing)", d0, d1, (d0 / d1 - 1.0) * 100.0)
+                format!(
+                    "default {:.0} ops/s at RR=0 -> {:.0} at RR=1 ({:.0}% swing)",
+                    d0,
+                    d1,
+                    (d0 / d1 - 1.0) * 100.0
+                )
             },
         ),
         Finding::new(

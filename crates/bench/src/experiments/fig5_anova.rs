@@ -37,7 +37,12 @@ pub fn run(quick: bool) -> Vec<Finding> {
     crate::write_output("fig5_anova.csv", &csv);
 
     for (i, s) in report.screens.iter().take(10).enumerate() {
-        println!("  #{:<2} {:<42} sd = {:>9.0}", i + 1, s.info.name, s.effect.std_dev);
+        println!(
+            "  #{:<2} {:<42} sd = {:>9.0}",
+            i + 1,
+            s.info.name,
+            s.effect.std_dev
+        );
     }
     let keys: Vec<&str> = report.key_parameters.iter().map(|p| p.name).collect();
     println!("  key parameters: {}", keys.join(", "));
@@ -75,7 +80,10 @@ pub fn run(quick: bool) -> Vec<Finding> {
             "Fig 5",
             "dominant parameter",
             "compaction strategy; sd ~11x that of concurrent_writes",
-            format!("compaction_method ranked #{cm_rank}; sd {:.1}x concurrent_writes", cm_sd / cw_sd.max(1.0)),
+            format!(
+                "compaction_method ranked #{cm_rank}; sd {:.1}x concurrent_writes",
+                cm_sd / cw_sd.max(1.0)
+            ),
         ),
         Finding::new(
             "Fig 5 / §3.4.1",

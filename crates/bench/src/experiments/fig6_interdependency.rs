@@ -19,9 +19,11 @@ pub fn run(quick: bool) -> Vec<Finding> {
     let mut table: std::collections::HashMap<(CompactionMethod, u32), f64> = Default::default();
     for cm in [CompactionMethod::SizeTiered, CompactionMethod::Leveled] {
         for cw in [8u32, 16, 32, 64, 128] {
-            let mut cfg = EngineConfig::default();
-            cfg.compaction_method = cm;
-            cfg.concurrent_writes = cw;
+            let cfg = EngineConfig {
+                compaction_method: cm,
+                concurrent_writes: cw,
+                ..EngineConfig::default()
+            };
             let t = ctx.measure(rr, &cfg);
             println!("[fig6] {cm:?} CW={cw}: {t:.0} ops/s");
             csv.push_str(&format!("{cm:?},{cw},{t:.0}\n"));
@@ -42,14 +44,13 @@ pub fn run(quick: bool) -> Vec<Finding> {
     };
     let st_best = best_cw(CompactionMethod::SizeTiered);
     let lv_best = best_cw(CompactionMethod::Leveled);
-    let st_6432 =
-        (table[&(CompactionMethod::SizeTiered, 64)] / table[&(CompactionMethod::SizeTiered, 32)]
-            - 1.0)
-            * 100.0;
-    let lv_6432 = (table[&(CompactionMethod::Leveled, 64)]
-        / table[&(CompactionMethod::Leveled, 32)]
+    let st_6432 = (table[&(CompactionMethod::SizeTiered, 64)]
+        / table[&(CompactionMethod::SizeTiered, 32)]
         - 1.0)
         * 100.0;
+    let lv_6432 =
+        (table[&(CompactionMethod::Leveled, 64)] / table[&(CompactionMethod::Leveled, 32)] - 1.0)
+            * 100.0;
 
     // Greedy coordinate sweep vs joint search over (CM, CW): greedily tune
     // CW under the default CM first, then CM — and compare to the best of
@@ -78,10 +79,7 @@ pub fn run(quick: bool) -> Vec<Finding> {
         }
         ctx.measure(rr, &cfg)
     };
-    let joint = table
-        .values()
-        .cloned()
-        .fold(f64::NEG_INFINITY, f64::max);
+    let joint = table.values().cloned().fold(f64::NEG_INFINITY, f64::max);
     let _ = space;
 
     vec![

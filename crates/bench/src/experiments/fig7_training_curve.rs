@@ -43,9 +43,8 @@ pub fn run(quick: bool) -> Vec<Finding> {
         for trial in 0..trials {
             let seed = crate::EXPERIMENT_SEED + trial;
             // Unseen configurations: hold out 25% of configuration groups.
-            let (train_c, test_c) = training.split_by_group(0.25, seed, |i, _| {
-                dataset.samples[i].config_index
-            });
+            let (train_c, test_c) =
+                training.split_by_group(0.25, seed, |i, _| dataset.samples[i].config_index);
             let sub = train_c.sample_n(n, seed);
             let mut cfgd = surrogate_cfg.clone();
             cfgd.seed = seed;

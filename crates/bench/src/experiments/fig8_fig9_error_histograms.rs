@@ -112,20 +112,28 @@ pub fn run(quick: bool) -> Vec<Finding> {
     });
 
     // Histogram CSVs (Figures 8 and 9).
-    for (name, report) in [("fig8_unseen_configs", &configs), ("fig9_unseen_workloads", &workloads)]
-    {
+    for (name, report) in [
+        ("fig8_unseen_configs", &configs),
+        ("fig9_unseen_workloads", &workloads),
+    ] {
         let mut csv = String::from("error_pct_bin_center,count\n");
         for (center, count) in report.histogram.centers() {
             csv.push_str(&format!("{center:.2},{count}\n"));
         }
-        crate::write_output(&format!("{name}.csv", ), &csv);
+        crate::write_output(&format!("{name}.csv",), &csv);
     }
     println!("Fig 8 histogram (unseen configurations):");
     println!("{}", configs.histogram.render_ascii(40));
 
     // Table 2.
     let table = crate::markdown_table(
-        &["", "20 Nets Config", "20 Nets Workload", "1 Net Config", "1 Net Workload"],
+        &[
+            "",
+            "20 Nets Config",
+            "20 Nets Workload",
+            "1 Net Config",
+            "1 Net Workload",
+        ],
         &[
             vec![
                 "Prediction Error".into(),

@@ -28,7 +28,8 @@ pub fn run(quick: bool) -> Vec<Finding> {
     let space = key_param_space();
     let plan = paper_collection_plan(quick);
     let dataset = load_or_collect_dataset("cassandra", &ctx, &space, &plan);
-    let surrogate = SurrogateModel::fit(&dataset.to_training_data(), &paper_surrogate_config(quick));
+    let surrogate =
+        SurrogateModel::fit(&dataset.to_training_data(), &paper_surrogate_config(quick));
 
     // Surrogate evaluation latency.
     let probe = space.feature_row(0.9, &space.default_genome());
@@ -76,7 +77,9 @@ pub fn run(quick: bool) -> Vec<Finding> {
     let mut batch_secs_read_heavy = 0.0;
     for (rr, scalar_secs, scalar_result) in &scalar_runs {
         let t0 = std::time::Instant::now();
-        let best = tuner.optimize_seeded(*rr, crate::EXPERIMENT_SEED).expect("installed");
+        let best = tuner
+            .optimize_seeded(*rr, crate::EXPERIMENT_SEED)
+            .expect("installed");
         let batch_secs = t0.elapsed().as_secs_f64();
         assert_eq!(
             best.genome, scalar_result.best_genome,
@@ -89,11 +92,16 @@ pub fn run(quick: bool) -> Vec<Finding> {
              ({speedup:.1}x), {} evals, identical best",
             scalar_result.evaluations
         );
-        per_workload.push((*rr, *scalar_secs, batch_secs, speedup, scalar_result.evaluations));
+        per_workload.push((
+            *rr,
+            *scalar_secs,
+            batch_secs,
+            speedup,
+            scalar_result.evaluations,
+        ));
         batch_secs_read_heavy = batch_secs;
     }
-    let mean_speedup =
-        per_workload.iter().map(|w| w.3).sum::<f64>() / per_workload.len() as f64;
+    let mean_speedup = per_workload.iter().map(|w| w.3).sum::<f64>() / per_workload.len() as f64;
 
     // Machine-readable before/after record.
     let mut json = String::from(
@@ -107,7 +115,9 @@ pub fn run(quick: bool) -> Vec<Finding> {
             if i + 1 < per_workload.len() { "," } else { "" }
         ));
     }
-    json.push_str(&format!("  ],\n  \"mean_speedup\": {mean_speedup:.2}\n}}\n"));
+    json.push_str(&format!(
+        "  ],\n  \"mean_speedup\": {mean_speedup:.2}\n}}\n"
+    ));
     crate::write_output("BENCH_search.json", &json);
     // Keep the committed repo-root copy fresh (fails loudly rather than
     // leaving a stale record).

@@ -17,13 +17,26 @@ pub fn run(quick: bool) -> Vec<Finding> {
     let plan = paper_collection_plan(quick);
     let dataset = load_or_collect_dataset("cassandra", &ctx, &space, &plan);
 
-    let rrs: Vec<f64> = if quick { vec![1.0, 0.5, 0.0] } else { vec![0.9, 0.5, 0.1] };
+    let rrs: Vec<f64> = if quick {
+        vec![1.0, 0.5, 0.0]
+    } else {
+        vec![0.9, 0.5, 0.1]
+    };
     let mut rows = Vec::new();
     let mut findings = Vec::new();
     let paper = [
-        ("read=90%", "max 78,556 / default 53,461 / min 38,785 (max +102.5% over min)"),
-        ("read=50%", "max 89,981 / default 63,662 / min 53,372 (max +68.5% over min)"),
-        ("read=10%", "max 102,259 / default 88,771 / min 78,221 (max +30.7% over min)"),
+        (
+            "read=90%",
+            "max 78,556 / default 53,461 / min 38,785 (max +102.5% over min)",
+        ),
+        (
+            "read=50%",
+            "max 89,981 / default 63,662 / min 53,372 (max +68.5% over min)",
+        ),
+        (
+            "read=10%",
+            "max 102,259 / default 88,771 / min 78,221 (max +30.7% over min)",
+        ),
     ];
     for (i, &rr) in rrs.iter().enumerate() {
         let at: Vec<&rafiki::PerfSample> = dataset
@@ -36,7 +49,10 @@ pub fn run(quick: bool) -> Vec<Finding> {
             .iter()
             .map(|s| s.throughput)
             .fold(f64::NEG_INFINITY, f64::max);
-        let min = at.iter().map(|s| s.throughput).fold(f64::INFINITY, f64::min);
+        let min = at
+            .iter()
+            .map(|s| s.throughput)
+            .fold(f64::INFINITY, f64::min);
         let default = at
             .iter()
             .find(|s| s.config_index == 0)
@@ -64,7 +80,13 @@ pub fn run(quick: bool) -> Vec<Finding> {
         ));
     }
     let table = crate::markdown_table(
-        &["workload", "Maximum", "Default", "Minimum", "max/def % over min"],
+        &[
+            "workload",
+            "Maximum",
+            "Default",
+            "Minimum",
+            "max/def % over min",
+        ],
         &rows,
     );
     crate::write_output("table1_throughput_extremes.md", &table);

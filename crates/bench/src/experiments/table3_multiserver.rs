@@ -73,9 +73,7 @@ pub fn run(quick: bool) -> Vec<Finding> {
         let tuned = if candidate.predicted_throughput > default_pred * 1.02 {
             candidate.config
         } else {
-            println!(
-                "[table3] RR={rr:.1}: predicted gain below threshold; keeping the default"
-            );
+            println!("[table3] RR={rr:.1}: predicted gain below threshold; keeping the default");
             rafiki_engine::EngineConfig::default()
         };
         tuned_configs.push(tuned);
@@ -109,7 +107,10 @@ pub fn run(quick: bool) -> Vec<Finding> {
         rows.push(row);
         findings.push(Finding::new(
             "Table 3",
-            format!("improvement at RR={:.0}% (single / two servers)", rr * 100.0),
+            format!(
+                "improvement at RR={:.0}% (single / two servers)",
+                rr * 100.0
+            ),
             format!("{} / {}", paper[i], paper2[i]),
             format!("{:+.1}% / {:+.1}%", gains[0], gains[1]),
         ));

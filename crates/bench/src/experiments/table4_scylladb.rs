@@ -54,13 +54,17 @@ pub fn run(quick: bool) -> Vec<Finding> {
         ..CollectionPlan::default()
     };
     let dataset = load_or_collect_dataset("scylla", &ctx, &space, &plan);
-    let surrogate = SurrogateModel::fit(&dataset.to_training_data(), &paper_surrogate_config(quick));
+    let surrogate =
+        SurrogateModel::fit(&dataset.to_training_data(), &paper_surrogate_config(quick));
 
     let default_cfg = EngineConfig::default();
     let grid: Vec<Vec<f64>> = coarse_genome_grid(&space, if quick { 2 } else { 3 });
     let mut rows = Vec::new();
     let mut findings = Vec::new();
-    let paper = [("WL1 (R=70%)", "12.29% (Rafiki) / 21.8% (grid)"), ("WL2 (R=100%)", "9% (Rafiki) / 4.57% (grid)")];
+    let paper = [
+        ("WL1 (R=70%)", "12.29% (Rafiki) / 21.8% (grid)"),
+        ("WL2 (R=100%)", "9% (Rafiki) / 4.57% (grid)"),
+    ];
     for (i, &rr) in [0.7, 1.0].iter().enumerate() {
         let default_tput = ctx.measure(rr, &default_cfg);
 
@@ -112,12 +116,21 @@ pub fn run(quick: bool) -> Vec<Finding> {
                 "§4.8",
                 "ScyllaDB gap to grid best",
                 "within 9.5% of the theoretically best",
-                format!("{:.1}% below grid best", (1.0 - rafiki_tput / grid_tput.max(1.0)) * 100.0),
+                format!(
+                    "{:.1}% below grid best",
+                    (1.0 - rafiki_tput / grid_tput.max(1.0)) * 100.0
+                ),
             ));
         }
     }
     let table = crate::markdown_table(
-        &["workload", "Rafiki ops/s", "Grid ops/s", "Rafiki gain", "Grid gain"],
+        &[
+            "workload",
+            "Rafiki ops/s",
+            "Grid ops/s",
+            "Rafiki gain",
+            "Grid gain",
+        ],
         &rows,
     );
     crate::write_output("table4_scylladb.md", &table);

@@ -45,7 +45,8 @@ pub fn write_output(name: &str, contents: &str) -> PathBuf {
     std::fs::create_dir_all(&dir).expect("create experiment output dir");
     let path = dir.join(name);
     let mut f = std::fs::File::create(&path).expect("create experiment output file");
-    f.write_all(contents.as_bytes()).expect("write experiment output");
+    f.write_all(contents.as_bytes())
+        .expect("write experiment output");
     println!("[output] {}", path.display());
     path
 }
@@ -65,8 +66,7 @@ pub fn write_repo_root(name: &str, contents: &str) -> PathBuf {
         .canonicalize()
         .expect("resolve repository root");
     let path = root.join(name);
-    std::fs::write(&path, contents)
-        .unwrap_or_else(|e| panic!("refresh {}: {e}", path.display()));
+    std::fs::write(&path, contents).unwrap_or_else(|e| panic!("refresh {}: {e}", path.display()));
     println!("[output] {}", path.display());
     path
 }

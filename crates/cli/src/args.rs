@@ -96,11 +96,6 @@ impl Args {
                 .map_err(|_| ArgError(format!("--{name} {v}: not a valid number"))),
         }
     }
-
-    /// Names of flags that were provided.
-    pub fn flag_names(&self) -> Vec<&str> {
-        self.flags.keys().map(String::as_str).collect()
-    }
 }
 
 #[cfg(test)]
@@ -133,11 +128,7 @@ mod tests {
     #[test]
     fn declared_boolean_set_is_honoured() {
         // A name outside the declared set still consumes a value…
-        let a = Args::parse(
-            ["serve", "--verbose", "yes"].map(String::from),
-            &["help"],
-        )
-        .unwrap();
+        let a = Args::parse(["serve", "--verbose", "yes"].map(String::from), &["help"]).unwrap();
         assert_eq!(a.get_or("verbose", ""), "yes");
         // …and without one it errors instead of silently becoming a bool.
         assert!(Args::parse(["serve", "--verbose"].map(String::from), &["help"]).is_err());
@@ -171,8 +162,14 @@ mod tests {
         assert!(parse("tune --rr").is_err());
         assert!(parse("tune extra positional").is_err());
         assert!(parse("tune --rr 1 --rr 2").is_err());
-        assert!(parse("tune --rr=1 --rr 2").is_err(), "mixed forms still collide");
-        assert!(parse("tune --rr abc").unwrap().num_or("rr", 0.5f64).is_err());
+        assert!(
+            parse("tune --rr=1 --rr 2").is_err(),
+            "mixed forms still collide"
+        );
+        assert!(parse("tune --rr abc")
+            .unwrap()
+            .num_or("rr", 0.5f64)
+            .is_err());
         assert!(parse("tune --=3").is_err(), "empty flag name rejected");
     }
 

@@ -43,8 +43,9 @@ USAGE:
                       [--proactive] [--quick]
       Fit the tuner, then run the online tuning daemon until shutdown.
   rafiki-tune client  [--addr 127.0.0.1:7878] [--rr 0.9] [--ops 2000]
-                      [--seed 0] | --stats | --shutdown
-      Stream generated operations at a daemon and print the latency
+                      [--batch 64] [--seed 0] | --stats | --shutdown
+      Stream generated operations at a daemon (framed --batch ops per
+      request; --batch 1 sends one op per frame) and print the latency
       digest, or just query / stop it.
 
 Boolean flags (--quick, --proactive, --stats, --shutdown, --help) take
@@ -103,7 +104,12 @@ fn cmd_screen(args: &Args) -> Result<(), ArgError> {
     let report = identify_key_parameters(&ctx, &cfg);
     println!("{:<4} {:<44} {:>12}", "rank", "parameter", "sd(ops/s)");
     for (i, s) in report.screens.iter().enumerate() {
-        println!("{:<4} {:<44} {:>12.0}", i + 1, s.info.name, s.effect.std_dev);
+        println!(
+            "{:<4} {:<44} {:>12.0}",
+            i + 1,
+            s.info.name,
+            s.effect.std_dev
+        );
     }
     println!(
         "\nkey parameters: {}",
@@ -147,13 +153,30 @@ fn cmd_tune(args: &Args) -> Result<(), ArgError> {
     println!("workload read ratio : {rr:.2}");
     println!("surrogate evals     : {}", best.surrogate_evaluations);
     println!("predicted ops/s     : {:.0}", best.predicted_throughput);
-    println!("measured  ops/s     : {tuned_tput:.0} (default {default_tput:.0}, {:+.1}%)",
-        (tuned_tput / default_tput - 1.0) * 100.0);
-    println!("compaction_method            = {:?}", best.config.compaction_method);
-    println!("concurrent_writes            = {}", best.config.concurrent_writes);
-    println!("file_cache_size_in_mb        = {}", best.config.file_cache_size_mb);
-    println!("memtable_cleanup_threshold   = {:.2}", best.config.memtable_cleanup_threshold);
-    println!("concurrent_compactors        = {}", best.config.concurrent_compactors);
+    println!(
+        "measured  ops/s     : {tuned_tput:.0} (default {default_tput:.0}, {:+.1}%)",
+        (tuned_tput / default_tput - 1.0) * 100.0
+    );
+    println!(
+        "compaction_method            = {:?}",
+        best.config.compaction_method
+    );
+    println!(
+        "concurrent_writes            = {}",
+        best.config.concurrent_writes
+    );
+    println!(
+        "file_cache_size_in_mb        = {}",
+        best.config.file_cache_size_mb
+    );
+    println!(
+        "memtable_cleanup_threshold   = {:.2}",
+        best.config.memtable_cleanup_threshold
+    );
+    println!(
+        "concurrent_compactors        = {}",
+        best.config.concurrent_compactors
+    );
     Ok(())
 }
 
@@ -212,8 +235,8 @@ fn cmd_replay(args: &Args) -> Result<(), ArgError> {
     if path.is_empty() {
         return Err(ArgError("replay needs --trace FILE".to_string()));
     }
-    let csv = std::fs::read_to_string(path)
-        .map_err(|e| ArgError(format!("cannot read {path}: {e}")))?;
+    let csv =
+        std::fs::read_to_string(path).map_err(|e| ArgError(format!("cannot read {path}: {e}")))?;
     let trace = rafiki_workload::WorkloadTrace::from_csv(&csv)
         .map_err(|e| ArgError(format!("{path}: {e}")))?;
     let window = args.num_or("window", 0usize)?;
@@ -272,13 +295,11 @@ fn cmd_serve(args: &Args) -> Result<(), ArgError> {
         },
         ..ServeConfig::default()
     };
-    let server =
-        Server::bind(addr.as_str(), tuner, cfg).map_err(|e| ArgError(format!("bind {addr}: {e}")))?;
+    let server = Server::bind(addr.as_str(), tuner, cfg)
+        .map_err(|e| ArgError(format!("bind {addr}: {e}")))?;
     eprintln!(
         "serving on {} — one window per {} ops{}; send {{\"type\":\"shutdown\"}} to stop",
-        server
-            .local_addr()
-            .map_err(|e| ArgError(e.to_string()))?,
+        server.local_addr().map_err(|e| ArgError(e.to_string()))?,
         cfg.window_ops,
         if cfg.controller.proactive {
             ", proactive"
@@ -296,8 +317,7 @@ fn cmd_serve(args: &Args) -> Result<(), ArgError> {
 
 fn cmd_client(args: &Args) -> Result<(), ArgError> {
     let addr = args.get_or("addr", "127.0.0.1:7878");
-    let mut client =
-        Client::connect(addr).map_err(|e| ArgError(format!("connect {addr}: {e}")))?;
+    let mut client = Client::connect(addr).map_err(|e| ArgError(format!("connect {addr}: {e}")))?;
     if args.has("shutdown") {
         client
             .shutdown()
@@ -308,13 +328,14 @@ fn cmd_client(args: &Args) -> Result<(), ArgError> {
     if !args.has("stats") {
         let rr: f64 = args.num_or("rr", 0.9)?;
         let ops: usize = args.num_or("ops", 2_000usize)?;
+        let batch: usize = args.num_or("batch", rafiki_serve::client::DRIVE_BATCH)?;
         let spec = WorkloadSpec {
             initial_keys: 20_000,
             ..WorkloadSpec::with_read_ratio(rr)
         };
         let mut workload = WorkloadGenerator::new(spec, args.num_or("seed", 0u64)?);
         let h = client
-            .drive(&mut workload, ops)
+            .drive_batched(&mut workload, ops, batch)
             .map_err(|e| ArgError(format!("stream failed: {e}")))?;
         println!(
             "client     : {} ops, mean {:.0} us, p50 {} us, p99 {} us, max {} us",

@@ -55,7 +55,15 @@ fn trace_emits_parseable_csv() {
 #[test]
 fn bench_reports_throughput() {
     let (ok, stdout, _) = run(&[
-        "bench", "--rr", "0.5", "--cm", "leveled", "--seconds", "1", "--clients", "16",
+        "bench",
+        "--rr",
+        "0.5",
+        "--cm",
+        "leveled",
+        "--seconds",
+        "1",
+        "--clients",
+        "16",
     ]);
     assert!(ok, "bench failed: {stdout}");
     assert!(stdout.contains("throughput"), "{stdout}");

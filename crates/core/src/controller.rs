@@ -166,8 +166,9 @@ impl<'t> OnlineController<'t> {
         } else {
             let space = self.tuner.space().ok_or(TunerError::NotFitted)?;
             let genome = space.genome_of(&self.active);
-            self.active_predicted =
-                self.tuner.predict_many(read_ratio, std::slice::from_ref(&genome))?[0];
+            self.active_predicted = self
+                .tuner
+                .predict_many(read_ratio, std::slice::from_ref(&genome))?[0];
         }
 
         Ok(WindowDecision {

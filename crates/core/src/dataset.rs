@@ -166,12 +166,14 @@ impl CollectionPlan {
         let samples = meta
             .into_iter()
             .zip(scores)
-            .map(|((config_index, read_ratio, genome), throughput)| PerfSample {
-                read_ratio,
-                config_index,
-                genome,
-                throughput,
-            })
+            .map(
+                |((config_index, read_ratio, genome), throughput)| PerfSample {
+                    read_ratio,
+                    config_index,
+                    genome,
+                    throughput,
+                },
+            )
             .collect();
         PerfDataset { samples }
     }
@@ -247,9 +249,24 @@ mod tests {
     fn best_and_default_lookups() {
         let data = PerfDataset {
             samples: vec![
-                PerfSample { read_ratio: 0.5, config_index: 0, genome: vec![0.0], throughput: 100.0 },
-                PerfSample { read_ratio: 0.5, config_index: 1, genome: vec![1.0], throughput: 150.0 },
-                PerfSample { read_ratio: 0.9, config_index: 0, genome: vec![0.0], throughput: 80.0 },
+                PerfSample {
+                    read_ratio: 0.5,
+                    config_index: 0,
+                    genome: vec![0.0],
+                    throughput: 100.0,
+                },
+                PerfSample {
+                    read_ratio: 0.5,
+                    config_index: 1,
+                    genome: vec![1.0],
+                    throughput: 150.0,
+                },
+                PerfSample {
+                    read_ratio: 0.9,
+                    config_index: 0,
+                    genome: vec![0.0],
+                    throughput: 80.0,
+                },
             ],
         };
         assert_eq!(data.best_for(0.5, 0.01).unwrap().throughput, 150.0);

@@ -164,8 +164,10 @@ mod tests {
     fn parallel_matches_sequential() {
         let ctx = EvalContext::small();
         let cfg = EngineConfig::default();
-        let points: Vec<(f64, EngineConfig)> =
-            [0.0, 0.5, 1.0].iter().map(|&rr| (rr, cfg.clone())).collect();
+        let points: Vec<(f64, EngineConfig)> = [0.0, 0.5, 1.0]
+            .iter()
+            .map(|&rr| (rr, cfg.clone()))
+            .collect();
         let parallel = ctx.measure_many(&points);
         for (i, &(rr, _)) in points.iter().enumerate() {
             assert_eq!(parallel[i], ctx.measure(rr, &cfg));

@@ -87,9 +87,7 @@ pub fn screening_values(info: &ParamInfo, levels: usize) -> Vec<f64> {
         ParamDomain::Int { min, max } => {
             let levels = levels.max(2);
             (0..levels)
-                .map(|i| {
-                    (min as f64 + (max - min) as f64 * i as f64 / (levels - 1) as f64).round()
-                })
+                .map(|i| (min as f64 + (max - min) as f64 * i as f64 / (levels - 1) as f64).round())
                 .collect::<Vec<f64>>()
         }
         ParamDomain::Real { min, max } => {
@@ -129,8 +127,7 @@ pub fn identify_key_parameters(ctx: &EvalContext, cfg: &ScreeningConfig) -> Scre
         layout.push((pi, values));
     }
     points.push((cfg.read_ratio, EngineConfig::default()));
-    let throughputs =
-        ctx.run_grid_scored(crate::dba::PerformanceMetric::Throughput, &points);
+    let throughputs = ctx.run_grid_scored(crate::dba::PerformanceMetric::Throughput, &points);
     let default_throughput = *throughputs.last().expect("non-empty measurements");
 
     let mut screens = Vec::new();
@@ -149,11 +146,13 @@ pub fn identify_key_parameters(ctx: &EvalContext, cfg: &ScreeningConfig) -> Scre
             .collect();
         let effect = ParameterEffect::from_group_means(info.name, &groups);
         let anova = if cfg.replicates >= 2 {
-            OneWayAnova::from_groups(&groups).ok().map(|a| AnovaSummary {
-                f_statistic: a.f_statistic,
-                p_value: a.p_value,
-                eta_squared: a.eta_squared,
-            })
+            OneWayAnova::from_groups(&groups)
+                .ok()
+                .map(|a| AnovaSummary {
+                    f_statistic: a.f_statistic,
+                    p_value: a.p_value,
+                    eta_squared: a.eta_squared,
+                })
         } else {
             None
         };
@@ -198,7 +197,12 @@ mod tests {
         let catalog = param_catalog();
         for info in &catalog {
             let values = screening_values(info, 4);
-            assert!(values.len() >= 2, "{} has {} values", info.name, values.len());
+            assert!(
+                values.len() >= 2,
+                "{} has {} values",
+                info.name,
+                values.len()
+            );
             assert!(
                 values.iter().any(|&v| (v - info.default).abs() < 1e-9),
                 "{} misses its default",

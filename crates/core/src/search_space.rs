@@ -120,7 +120,10 @@ mod tests {
     #[test]
     fn default_genome_matches_default_config() {
         let space = ConfigSearchSpace::new(key_five(), EngineConfig::default());
-        assert_eq!(space.default_genome(), space.genome_of(&EngineConfig::default()));
+        assert_eq!(
+            space.default_genome(),
+            space.genome_of(&EngineConfig::default())
+        );
     }
 
     #[test]

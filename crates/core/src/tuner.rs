@@ -328,7 +328,10 @@ mod tests {
     fn optimize_before_fit_errors() {
         let tuner = RafikiTuner::new(EvalContext::small(), TunerConfig::fast());
         assert_eq!(tuner.optimize(0.5).unwrap_err(), TunerError::NotFitted);
-        assert_eq!(tuner.predict(0.5, &[0.0; 5]).unwrap_err(), TunerError::NotFitted);
+        assert_eq!(
+            tuner.predict(0.5, &[0.0; 5]).unwrap_err(),
+            TunerError::NotFitted
+        );
     }
 
     #[test]

@@ -70,10 +70,7 @@ pub fn summarize(
 ) -> BenchmarkResult {
     let duration_secs = spec.duration_secs;
     let total_ops = measured.len() as u64;
-    let read_ops = measured
-        .iter()
-        .filter(|c| c.kind == OpKind::Read)
-        .count() as u64;
+    let read_ops = measured.iter().filter(|c| c.kind == OpKind::Read).count() as u64;
     // Latencies stream through a log-linear histogram (integer
     // nanoseconds): the exact mean comes from the histogram's running
     // sum and p99 from a nearest-rank cumulative walk, so no per-op

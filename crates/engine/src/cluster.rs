@@ -174,17 +174,14 @@ impl Cluster {
             pending.insert(id, acks);
         }
 
-        loop {
-            // Globally earliest event across nodes.
-            let Some((node_idx, at)) = self
-                .nodes
-                .iter()
-                .enumerate()
-                .filter_map(|(i, n)| n.next_event_time().map(|t| (i, t)))
-                .min_by_key(|&(_, t)| t)
-            else {
-                break;
-            };
+        // Globally earliest event across nodes, until none remain.
+        while let Some((node_idx, at)) = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, n)| n.next_event_time().map(|t| (i, t)))
+            .min_by_key(|&(_, t)| t)
+        {
             if at > measure_end {
                 break;
             }
@@ -400,7 +397,10 @@ mod tests {
             quorum < one,
             "quorum ({quorum:.0} ops/s) should cost more than ONE ({one:.0} ops/s)"
         );
-        assert!(quorum > one * 0.3, "quorum should not collapse: {quorum:.0}");
+        assert!(
+            quorum > one * 0.3,
+            "quorum should not collapse: {quorum:.0}"
+        );
     }
 
     #[test]
@@ -415,7 +415,6 @@ mod tests {
     #[test]
     #[should_panic]
     fn invalid_rf_rejected() {
-        ClusterSpec::new(2, 3)
-        .validate();
+        ClusterSpec::new(2, 3).validate();
     }
 }

@@ -123,7 +123,13 @@ impl Strategy {
                 min_threshold,
                 max_threshold,
                 min_sstable_bytes,
-            } => plan_size_tiered(tables, busy, min_threshold, max_threshold, min_sstable_bytes),
+            } => plan_size_tiered(
+                tables,
+                busy,
+                min_threshold,
+                max_threshold,
+                min_sstable_bytes,
+            ),
             Strategy::Leveled {
                 fanout,
                 base_level_bytes,
@@ -191,7 +197,7 @@ fn plan_size_tiered(
         if members.len() >= min_threshold {
             members.sort_by_key(|t| t.logical_bytes());
             members.truncate(max_threshold);
-            if best.as_ref().map_or(true, |b| members.len() > b.len()) {
+            if best.as_ref().is_none_or(|b| members.len() > b.len()) {
                 best = Some(members);
             }
         }
@@ -263,7 +269,12 @@ mod tests {
     use crate::store::row::{PayloadArena, Row};
     use rafiki_workload::Key;
 
-    fn add_table(set: &mut TableSet, keys: std::ops::Range<u64>, level: u8, payload: u32) -> TableId {
+    fn add_table(
+        set: &mut TableSet,
+        keys: std::ops::Range<u64>,
+        level: u8,
+        payload: u32,
+    ) -> TableId {
         let arena = PayloadArena::default();
         let rows: Vec<Row> = keys
             .map(|k| Row::new(Key(k), arena.payload(payload, k), 1))
@@ -390,7 +401,11 @@ mod tests {
         let old_b = add_versioned(&mut set, 10..20, 60);
         let mut fresh = Vec::new();
         for i in 0..4 {
-            fresh.push(add_versioned(&mut set, (100 + i * 10)..(100 + i * 10 + 5), 5_000 + i));
+            fresh.push(add_versioned(
+                &mut set,
+                (100 + i * 10)..(100 + i * 10 + 5),
+                5_000 + i,
+            ));
         }
         let twcs = Strategy::TimeWindow {
             window_versions: 1_000,
@@ -430,7 +445,10 @@ mod tests {
     fn defaults_are_consistent() {
         assert!(!Strategy::size_tiered_default().is_leveled());
         assert!(Strategy::leveled_default().is_leveled());
-        assert_eq!(Strategy::size_tiered_default().output_target_bytes(), u64::MAX);
+        assert_eq!(
+            Strategy::size_tiered_default().output_target_bytes(),
+            u64::MAX
+        );
         assert!(Strategy::leveled_default().output_target_bytes() < u64::MAX);
     }
 }

@@ -122,8 +122,14 @@ impl EngineConfig {
     pub fn validate(&self) {
         assert!(self.concurrent_writes >= 1, "concurrent_writes >= 1");
         assert!(self.concurrent_reads >= 1, "concurrent_reads >= 1");
-        assert!(self.concurrent_compactors >= 1, "concurrent_compactors >= 1");
-        assert!(self.memtable_flush_writers >= 1, "memtable_flush_writers >= 1");
+        assert!(
+            self.concurrent_compactors >= 1,
+            "concurrent_compactors >= 1"
+        );
+        assert!(
+            self.memtable_flush_writers >= 1,
+            "memtable_flush_writers >= 1"
+        );
         assert!(
             self.memtable_cleanup_threshold > 0.0 && self.memtable_cleanup_threshold <= 1.0,
             "memtable_cleanup_threshold in (0,1]"
@@ -132,7 +138,10 @@ impl EngineConfig {
             self.bloom_filter_fp_chance > 0.0 && self.bloom_filter_fp_chance < 1.0,
             "bloom_filter_fp_chance in (0,1)"
         );
-        assert!(self.memtable_heap_space_mb >= 16, "memtable space too small");
+        assert!(
+            self.memtable_heap_space_mb >= 16,
+            "memtable space too small"
+        );
         assert!(self.commitlog_segment_size_mb >= 1, "segment size >= 1MB");
     }
 
@@ -219,31 +228,171 @@ pub fn param_catalog() -> Vec<ParamInfo> {
     use ParamDomain::*;
     use ParamId::*;
     vec![
-        ParamInfo { id: CompactionMethod, name: "compaction_method", domain: Categorical { options: 2 }, default: 0.0 },
-        ParamInfo { id: ConcurrentWrites, name: "concurrent_writes", domain: Int { min: 8, max: 128 }, default: 32.0 },
-        ParamInfo { id: FileCacheSizeMb, name: "file_cache_size_in_mb", domain: Int { min: 32, max: 512 }, default: 256.0 },
-        ParamInfo { id: MemtableCleanupThreshold, name: "memtable_cleanup_threshold", domain: Real { min: 0.10, max: 0.90 }, default: 0.30 },
-        ParamInfo { id: ConcurrentCompactors, name: "concurrent_compactors", domain: Int { min: 1, max: 16 }, default: 2.0 },
-        ParamInfo { id: ConcurrentReads, name: "concurrent_reads", domain: Int { min: 16, max: 64 }, default: 32.0 },
-        ParamInfo { id: MemtableHeapSpaceMb, name: "memtable_heap_space_in_mb", domain: Int { min: 64, max: 512 }, default: 128.0 },
-        ParamInfo { id: MemtableOffheapSpaceMb, name: "memtable_offheap_space_in_mb", domain: Int { min: 0, max: 256 }, default: 0.0 },
-        ParamInfo { id: MemtableFlushWriters, name: "memtable_flush_writers", domain: Int { min: 1, max: 8 }, default: 2.0 },
-        ParamInfo { id: CommitlogSync, name: "commitlog_sync", domain: Categorical { options: 2 }, default: 0.0 },
-        ParamInfo { id: CommitlogSyncPeriodMs, name: "commitlog_sync_period_in_ms", domain: Int { min: 1_000, max: 20_000 }, default: 10_000.0 },
-        ParamInfo { id: CommitlogSegmentSizeMb, name: "commitlog_segment_size_in_mb", domain: Int { min: 8, max: 64 }, default: 32.0 },
-        ParamInfo { id: CommitlogTotalSpaceMb, name: "commitlog_total_space_in_mb", domain: Int { min: 1_024, max: 16_384 }, default: 8_192.0 },
-        ParamInfo { id: CompactionThroughputMbPerSec, name: "compaction_throughput_mb_per_sec", domain: Int { min: 8, max: 64 }, default: 16.0 },
-        ParamInfo { id: KeyCacheSizeMb, name: "key_cache_size_in_mb", domain: Int { min: 0, max: 512 }, default: 100.0 },
-        ParamInfo { id: RowCacheSizeMb, name: "row_cache_size_in_mb", domain: Int { min: 0, max: 512 }, default: 0.0 },
-        ParamInfo { id: BloomFilterFpChance, name: "bloom_filter_fp_chance", domain: Real { min: 0.001, max: 0.2 }, default: 0.01 },
-        ParamInfo { id: ColumnIndexSizeKb, name: "column_index_size_in_kb", domain: Int { min: 4, max: 256 }, default: 64.0 },
-        ParamInfo { id: IndexSummaryCapacityMb, name: "index_summary_capacity_in_mb", domain: Int { min: 16, max: 256 }, default: 128.0 },
-        ParamInfo { id: SstablePreemptiveOpenMb, name: "sstable_preemptive_open_interval_in_mb", domain: Int { min: 0, max: 100 }, default: 50.0 },
-        ParamInfo { id: TrickleFsync, name: "trickle_fsync", domain: Categorical { options: 2 }, default: 0.0 },
-        ParamInfo { id: ConcurrentCounterWrites, name: "concurrent_counter_writes", domain: Int { min: 8, max: 64 }, default: 32.0 },
-        ParamInfo { id: BatchSizeWarnThresholdKb, name: "batch_size_warn_threshold_in_kb", domain: Int { min: 5, max: 500 }, default: 64.0 },
-        ParamInfo { id: TombstoneGcGraceSeconds, name: "gc_grace_seconds", domain: Int { min: 3_600, max: 864_000 }, default: 864_000.0 },
-        ParamInfo { id: StreamThroughputOutboundMbPerSec, name: "stream_throughput_outbound_megabits_per_sec", domain: Int { min: 25, max: 400 }, default: 200.0 },
+        ParamInfo {
+            id: CompactionMethod,
+            name: "compaction_method",
+            domain: Categorical { options: 2 },
+            default: 0.0,
+        },
+        ParamInfo {
+            id: ConcurrentWrites,
+            name: "concurrent_writes",
+            domain: Int { min: 8, max: 128 },
+            default: 32.0,
+        },
+        ParamInfo {
+            id: FileCacheSizeMb,
+            name: "file_cache_size_in_mb",
+            domain: Int { min: 32, max: 512 },
+            default: 256.0,
+        },
+        ParamInfo {
+            id: MemtableCleanupThreshold,
+            name: "memtable_cleanup_threshold",
+            domain: Real {
+                min: 0.10,
+                max: 0.90,
+            },
+            default: 0.30,
+        },
+        ParamInfo {
+            id: ConcurrentCompactors,
+            name: "concurrent_compactors",
+            domain: Int { min: 1, max: 16 },
+            default: 2.0,
+        },
+        ParamInfo {
+            id: ConcurrentReads,
+            name: "concurrent_reads",
+            domain: Int { min: 16, max: 64 },
+            default: 32.0,
+        },
+        ParamInfo {
+            id: MemtableHeapSpaceMb,
+            name: "memtable_heap_space_in_mb",
+            domain: Int { min: 64, max: 512 },
+            default: 128.0,
+        },
+        ParamInfo {
+            id: MemtableOffheapSpaceMb,
+            name: "memtable_offheap_space_in_mb",
+            domain: Int { min: 0, max: 256 },
+            default: 0.0,
+        },
+        ParamInfo {
+            id: MemtableFlushWriters,
+            name: "memtable_flush_writers",
+            domain: Int { min: 1, max: 8 },
+            default: 2.0,
+        },
+        ParamInfo {
+            id: CommitlogSync,
+            name: "commitlog_sync",
+            domain: Categorical { options: 2 },
+            default: 0.0,
+        },
+        ParamInfo {
+            id: CommitlogSyncPeriodMs,
+            name: "commitlog_sync_period_in_ms",
+            domain: Int {
+                min: 1_000,
+                max: 20_000,
+            },
+            default: 10_000.0,
+        },
+        ParamInfo {
+            id: CommitlogSegmentSizeMb,
+            name: "commitlog_segment_size_in_mb",
+            domain: Int { min: 8, max: 64 },
+            default: 32.0,
+        },
+        ParamInfo {
+            id: CommitlogTotalSpaceMb,
+            name: "commitlog_total_space_in_mb",
+            domain: Int {
+                min: 1_024,
+                max: 16_384,
+            },
+            default: 8_192.0,
+        },
+        ParamInfo {
+            id: CompactionThroughputMbPerSec,
+            name: "compaction_throughput_mb_per_sec",
+            domain: Int { min: 8, max: 64 },
+            default: 16.0,
+        },
+        ParamInfo {
+            id: KeyCacheSizeMb,
+            name: "key_cache_size_in_mb",
+            domain: Int { min: 0, max: 512 },
+            default: 100.0,
+        },
+        ParamInfo {
+            id: RowCacheSizeMb,
+            name: "row_cache_size_in_mb",
+            domain: Int { min: 0, max: 512 },
+            default: 0.0,
+        },
+        ParamInfo {
+            id: BloomFilterFpChance,
+            name: "bloom_filter_fp_chance",
+            domain: Real {
+                min: 0.001,
+                max: 0.2,
+            },
+            default: 0.01,
+        },
+        ParamInfo {
+            id: ColumnIndexSizeKb,
+            name: "column_index_size_in_kb",
+            domain: Int { min: 4, max: 256 },
+            default: 64.0,
+        },
+        ParamInfo {
+            id: IndexSummaryCapacityMb,
+            name: "index_summary_capacity_in_mb",
+            domain: Int { min: 16, max: 256 },
+            default: 128.0,
+        },
+        ParamInfo {
+            id: SstablePreemptiveOpenMb,
+            name: "sstable_preemptive_open_interval_in_mb",
+            domain: Int { min: 0, max: 100 },
+            default: 50.0,
+        },
+        ParamInfo {
+            id: TrickleFsync,
+            name: "trickle_fsync",
+            domain: Categorical { options: 2 },
+            default: 0.0,
+        },
+        ParamInfo {
+            id: ConcurrentCounterWrites,
+            name: "concurrent_counter_writes",
+            domain: Int { min: 8, max: 64 },
+            default: 32.0,
+        },
+        ParamInfo {
+            id: BatchSizeWarnThresholdKb,
+            name: "batch_size_warn_threshold_in_kb",
+            domain: Int { min: 5, max: 500 },
+            default: 64.0,
+        },
+        ParamInfo {
+            id: TombstoneGcGraceSeconds,
+            name: "gc_grace_seconds",
+            domain: Int {
+                min: 3_600,
+                max: 864_000,
+            },
+            default: 864_000.0,
+        },
+        ParamInfo {
+            id: StreamThroughputOutboundMbPerSec,
+            name: "stream_throughput_outbound_megabits_per_sec",
+            domain: Int { min: 25, max: 400 },
+            default: 200.0,
+        },
     ]
 }
 
@@ -282,9 +431,7 @@ impl EngineConfig {
             ConcurrentCounterWrites => self.concurrent_counter_writes as f64,
             BatchSizeWarnThresholdKb => self.batch_size_warn_threshold_kb as f64,
             TombstoneGcGraceSeconds => self.tombstone_gc_grace_seconds as f64,
-            StreamThroughputOutboundMbPerSec => {
-                self.stream_throughput_outbound_mb_per_sec as f64
-            }
+            StreamThroughputOutboundMbPerSec => self.stream_throughput_outbound_mb_per_sec as f64,
         }
     }
 
@@ -303,9 +450,7 @@ impl EngineConfig {
             }
             ConcurrentWrites => self.concurrent_writes = as_u32(value, 8, 128),
             FileCacheSizeMb => self.file_cache_size_mb = as_u32(value, 32, 512),
-            MemtableCleanupThreshold => {
-                self.memtable_cleanup_threshold = value.clamp(0.10, 0.90)
-            }
+            MemtableCleanupThreshold => self.memtable_cleanup_threshold = value.clamp(0.10, 0.90),
             ConcurrentCompactors => self.concurrent_compactors = as_u32(value, 1, 16),
             ConcurrentReads => self.concurrent_reads = as_u32(value, 16, 64),
             MemtableHeapSpaceMb => self.memtable_heap_space_mb = as_u32(value, 64, 512),
@@ -318,13 +463,9 @@ impl EngineConfig {
                     crate::store::CommitlogSync::Periodic
                 };
             }
-            CommitlogSyncPeriodMs => {
-                self.commitlog_sync_period_ms = as_u32(value, 1_000, 20_000)
-            }
+            CommitlogSyncPeriodMs => self.commitlog_sync_period_ms = as_u32(value, 1_000, 20_000),
             CommitlogSegmentSizeMb => self.commitlog_segment_size_mb = as_u32(value, 8, 64),
-            CommitlogTotalSpaceMb => {
-                self.commitlog_total_space_mb = as_u32(value, 1_024, 16_384)
-            }
+            CommitlogTotalSpaceMb => self.commitlog_total_space_mb = as_u32(value, 1_024, 16_384),
             CompactionThroughputMbPerSec => {
                 self.compaction_throughput_mb_per_sec = as_u32(value, 8, 64)
             }
@@ -333,16 +474,10 @@ impl EngineConfig {
             BloomFilterFpChance => self.bloom_filter_fp_chance = value.clamp(0.001, 0.2),
             ColumnIndexSizeKb => self.column_index_size_kb = as_u32(value, 4, 256),
             IndexSummaryCapacityMb => self.index_summary_capacity_mb = as_u32(value, 16, 256),
-            SstablePreemptiveOpenMb => {
-                self.sstable_preemptive_open_mb = as_u32(value, 0, 100)
-            }
+            SstablePreemptiveOpenMb => self.sstable_preemptive_open_mb = as_u32(value, 0, 100),
             TrickleFsync => self.trickle_fsync = value.round() >= 0.5,
-            ConcurrentCounterWrites => {
-                self.concurrent_counter_writes = as_u32(value, 8, 64)
-            }
-            BatchSizeWarnThresholdKb => {
-                self.batch_size_warn_threshold_kb = as_u32(value, 5, 500)
-            }
+            ConcurrentCounterWrites => self.concurrent_counter_writes = as_u32(value, 8, 64),
+            BatchSizeWarnThresholdKb => self.batch_size_warn_threshold_kb = as_u32(value, 5, 500),
             TombstoneGcGraceSeconds => {
                 self.tombstone_gc_grace_seconds = as_u32(value, 3_600, 864_000)
             }
@@ -482,12 +617,7 @@ mod tests {
         let mut cfg = EngineConfig::default();
         for p in &catalog {
             // Default in catalog matches the struct default.
-            assert_eq!(
-                cfg.get(p.id),
-                p.default,
-                "default mismatch for {}",
-                p.name
-            );
+            assert_eq!(cfg.get(p.id), p.default, "default mismatch for {}", p.name);
             // Set to a mid-range value and read it back.
             let probe = match p.domain {
                 ParamDomain::Categorical { options } => (options - 1) as f64,

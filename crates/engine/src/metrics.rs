@@ -46,15 +46,21 @@ impl EngineMetrics {
     pub fn delta(&self, earlier: &Self) -> Self {
         EngineMetrics {
             reads_completed: self.reads_completed.saturating_sub(earlier.reads_completed),
-            writes_completed: self.writes_completed.saturating_sub(earlier.writes_completed),
+            writes_completed: self
+                .writes_completed
+                .saturating_sub(earlier.writes_completed),
             flushes: self.flushes.saturating_sub(earlier.flushes),
             compactions: self.compactions.saturating_sub(earlier.compactions),
             compacted_bytes: self.compacted_bytes.saturating_sub(earlier.compacted_bytes),
             bloom_checks: self.bloom_checks.saturating_sub(earlier.bloom_checks),
             bloom_negatives: self.bloom_negatives.saturating_sub(earlier.bloom_negatives),
-            candidates_probed: self.candidates_probed.saturating_sub(earlier.candidates_probed),
+            candidates_probed: self
+                .candidates_probed
+                .saturating_sub(earlier.candidates_probed),
             file_cache_hits: self.file_cache_hits.saturating_sub(earlier.file_cache_hits),
-            file_cache_misses: self.file_cache_misses.saturating_sub(earlier.file_cache_misses),
+            file_cache_misses: self
+                .file_cache_misses
+                .saturating_sub(earlier.file_cache_misses),
             os_cache_hits: self.os_cache_hits.saturating_sub(earlier.os_cache_hits),
             disk_reads: self.disk_reads.saturating_sub(earlier.disk_reads),
             row_cache_hits: self.row_cache_hits.saturating_sub(earlier.row_cache_hits),

@@ -23,9 +23,7 @@ use crate::fasthash::{FastHashMap, FastHashSet};
 use crate::metrics::EngineMetrics;
 use crate::scylla::ScyllaTuner;
 use crate::sim::{CpuModel, DiskDevice, DiskReq, SimDuration, SimTime, WorkerPool};
-use crate::store::{
-    CommitLog, LruCache, Memtable, PayloadArena, Row, SsTable, TableId, TableSet,
-};
+use crate::store::{CommitLog, LruCache, Memtable, PayloadArena, Row, SsTable, TableId, TableSet};
 use rafiki_workload::{Key, OpKind, Operation};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
@@ -446,20 +444,17 @@ impl Engine {
                 // Non-overlapping key-partitioned tables split between L1
                 // and L2, as leveled compaction maintains.
                 let target = self.strategy.output_target_bytes();
-                let rows_per_table =
-                    (target / (payload_len as u64 + 32)).max(1).min(keys) as usize;
+                let rows_per_table = (target / (payload_len as u64 + 32)).max(1).min(keys) as usize;
                 let owned: Vec<u64> = (0..keys).filter(|&k| owns(k)).collect();
-                let mut level_toggle = 0u8;
-                for chunk in owned.chunks(rows_per_table) {
+                for (i, chunk) in owned.chunks(rows_per_table).enumerate() {
                     let rows: Vec<Row> = chunk
                         .iter()
                         .map(|&k| self.make_row_raw(Key(k), payload_len))
                         .collect();
                     let id = self.tables.allocate_id();
-                    let level = 1 + (level_toggle % 2);
+                    let level = 1 + (i % 2) as u8;
                     self.tables
                         .add(SsTable::from_rows(id, level, rows, fp, block));
-                    level_toggle += 1;
                 }
             }
         }
@@ -483,7 +478,8 @@ impl Engine {
         self.version_counter += 1;
         Row::new(
             key,
-            self.arena.payload(payload_len, key.0 ^ self.version_counter),
+            self.arena
+                .payload(payload_len, key.0 ^ self.version_counter),
             self.version_counter,
         )
     }
@@ -587,9 +583,7 @@ impl Engine {
     fn slowdown(&self, _now: SimTime) -> f64 {
         // Runnable threads: in-flight operations capped by their pool
         // sizes (queued requests don't run), plus background jobs.
-        let runnable = self
-            .in_flight_writes
-            .min(self.write_pool.size())
+        let runnable = self.in_flight_writes.min(self.write_pool.size())
             + self.in_flight_reads.min(self.read_pool.size())
             + self.flush_jobs.len()
             + self.compaction_runs.len();
@@ -599,9 +593,7 @@ impl Engine {
             + self.cfg.memtable_flush_writers;
         let idle_churn = self.spec.costs.idle_thread_overhead
             * (configured as f64 - self.spec.cores as f64).max(0.0);
-        (self.cpu.slowdown(runnable.max(1)) + idle_churn)
-            * self.gc_factor()
-            * self.tuner_factor
+        (self.cpu.slowdown(runnable.max(1)) + idle_churn) * self.gc_factor() * self.tuner_factor
     }
 
     fn cpu_time(&self, us: f64, now: SimTime) -> SimDuration {
@@ -804,19 +796,21 @@ impl Engine {
         // Streaming merge: read a chunk, merge, write a chunk (compressed
         // on disk in both directions).
         let disk_bytes = (bytes as f64 * self.spec.costs.sstable_compression) as u64;
-        let read_done = self.disk.access(now, DiskReq::SeqRead { bytes: disk_bytes });
-        let write_done = self.disk.access(read_done, DiskReq::SeqWrite { bytes: disk_bytes });
-        let cpu_us =
-            self.spec.costs.compaction_cpu_per_mb_us * bytes as f64 / (1 << 20) as f64;
+        let read_done = self
+            .disk
+            .access(now, DiskReq::SeqRead { bytes: disk_bytes });
+        let write_done = self
+            .disk
+            .access(read_done, DiskReq::SeqWrite { bytes: disk_bytes });
+        let cpu_us = self.spec.costs.compaction_cpu_per_mb_us * bytes as f64 / (1 << 20) as f64;
         let chunk_done = write_done + self.cpu_time(cpu_us, now);
 
         let next_at = if remaining > 0 {
             // Global throughput cap shared across active compactors.
             let cap_mbps = self.cfg.compaction_throughput_mb_per_sec.max(1) as f64;
             let active = self.compaction_runs.len().max(1) as f64;
-            let pace = SimDuration::from_secs_f64(
-                bytes as f64 * active / (cap_mbps * 1024.0 * 1024.0),
-            );
+            let pace =
+                SimDuration::from_secs_f64(bytes as f64 * active / (cap_mbps * 1024.0 * 1024.0));
             chunk_done.max(now + pace)
         } else {
             chunk_done
@@ -928,22 +922,21 @@ impl Engine {
 
             // Per-candidate probe costs, modulated by the index knobs.
             let column_index_extra = 0.04 * self.cfg.column_index_size_kb as f64;
-            let summary_needed_mb =
-                (self.tables.len() as u64 * 2).max(1) as f64; // ~2MB summary per table
-            let summary_penalty =
-                if (self.cfg.index_summary_capacity_mb as f64) < summary_needed_mb {
-                    6.0
-                } else {
-                    0.0
-                };
+            let summary_needed_mb = (self.tables.len() as u64 * 2).max(1) as f64; // ~2MB summary per table
+            let summary_penalty = if (self.cfg.index_summary_capacity_mb as f64) < summary_needed_mb
+            {
+                6.0
+            } else {
+                0.0
+            };
 
             let mut newest_version = mem_version.unwrap_or(0);
             for &tid in &scratch {
                 self.metrics.candidates_probed += 1;
                 cpu_us += costs.per_candidate_cpu_us + column_index_extra + summary_penalty;
 
-                let key_cache_hit = self.key_cache.capacity() > 0
-                    && self.key_cache.get(&(tid, op.key)).is_some();
+                let key_cache_hit =
+                    self.key_cache.capacity() > 0 && self.key_cache.get(&(tid, op.key)).is_some();
                 if key_cache_hit {
                     self.metrics.key_cache_hits += 1;
                     // Skip the partition-index walk.
@@ -1076,8 +1069,7 @@ impl Engine {
     }
 
     fn tuner_tick(&mut self) {
-        let throughput_proxy =
-            self.metrics.reads_completed + self.metrics.writes_completed;
+        let throughput_proxy = self.metrics.reads_completed + self.metrics.writes_completed;
         if let Some(mut tuner) = self.tuner.take() {
             self.tuner_factor = tuner.tick(throughput_proxy);
             let next = self.clock + tuner.period();
@@ -1142,8 +1134,9 @@ mod tests {
     fn reads_complete_and_probe_fewer_tables_under_lcs() {
         let read_ops = |cfg: EngineConfig| {
             let mut e = engine(cfg);
-            let ops: Vec<Operation> =
-                (0..2_000).map(|i| Operation::read(Key(i * 7 % 50_000))).collect();
+            let ops: Vec<Operation> = (0..2_000)
+                .map(|i| Operation::read(Key(i * 7 % 50_000)))
+                .collect();
             let completions = run_ops(&mut e, ops);
             assert_eq!(completions.len(), 2_000);
             e.metrics().avg_candidates_per_read()
@@ -1234,8 +1227,9 @@ mod tests {
     fn scans_complete_and_cost_scales_with_length() {
         let latency_of = |rows: u32| {
             let mut e = engine(EngineConfig::default());
-            let ops: Vec<Operation> =
-                (0..200).map(|i| Operation::scan(Key(i * 131 % 40_000), rows)).collect();
+            let ops: Vec<Operation> = (0..200)
+                .map(|i| Operation::scan(Key(i * 131 % 40_000), rows))
+                .collect();
             let completions = run_ops(&mut e, ops);
             assert_eq!(completions.len(), 200);
             completions
@@ -1281,23 +1275,42 @@ mod tests {
         let deletes = SsTable::from_rows(
             2,
             0,
-            vec![Row::new_tombstone(Key(1), 9), Row::new_tombstone(Key(2), 10)],
+            vec![
+                Row::new_tombstone(Key(1), 9),
+                Row::new_tombstone(Key(2), 10),
+            ],
             0.01,
             64 << 10,
         );
         // Shadowing merge keeps the tombstones…
         let mut id = 10;
-        let shadowed = merge_tables(&[&live, &deletes], 0, 0.01, 64 << 10, u64::MAX, false, || {
-            id += 1;
-            id
-        });
+        let shadowed = merge_tables(
+            &[&live, &deletes],
+            0,
+            0.01,
+            64 << 10,
+            u64::MAX,
+            false,
+            || {
+                id += 1;
+                id
+            },
+        );
         assert_eq!(shadowed[0].len(), 2);
         assert!(shadowed[0].iter().all(|r| r.tombstone));
         // …while a covering merge evicts them entirely.
-        let purged = merge_tables(&[&live, &deletes], 0, 0.01, 64 << 10, u64::MAX, true, || {
-            id += 1;
-            id
-        });
+        let purged = merge_tables(
+            &[&live, &deletes],
+            0,
+            0.01,
+            64 << 10,
+            u64::MAX,
+            true,
+            || {
+                id += 1;
+                id
+            },
+        );
         assert!(purged.is_empty(), "everything was deleted");
     }
 

@@ -75,7 +75,10 @@ impl SimDuration {
     ///
     /// Panics on negative or non-finite factors.
     pub fn scale(self, factor: f64) -> SimDuration {
-        assert!(factor >= 0.0 && factor.is_finite(), "invalid scale {factor}");
+        assert!(
+            factor >= 0.0 && factor.is_finite(),
+            "invalid scale {factor}"
+        );
         SimDuration((self.0 as f64 * factor).round() as u64)
     }
 }

@@ -80,7 +80,11 @@ impl DiskDevice {
     /// Reserves the disk for a request that becomes ready at `ready`;
     /// returns the completion time.
     pub fn access(&mut self, ready: SimTime, req: DiskReq) -> SimTime {
-        let start = if ready > self.free_at { ready } else { self.free_at };
+        let start = if ready > self.free_at {
+            ready
+        } else {
+            self.free_at
+        };
         let service = self.service_time(req);
         self.busy += service;
         self.free_at = start + service;
@@ -202,11 +206,7 @@ mod tests {
     use super::*;
 
     fn disk() -> DiskDevice {
-        DiskDevice::new(
-            160.0,
-            140.0,
-            SimDuration::from_millis_f64(2.0),
-        )
+        DiskDevice::new(160.0, 140.0, SimDuration::from_millis_f64(2.0))
     }
 
     #[test]
@@ -223,7 +223,7 @@ mod tests {
     fn fcfs_queueing_emerges() {
         let mut d = disk();
         let t1 = d.access(SimTime::ZERO, DiskReq::SeqWrite { bytes: 14 << 20 }); // ~100ms
-        // Request ready immediately must wait for the first.
+                                                                                 // Request ready immediately must wait for the first.
         let t2 = d.access(SimTime::ZERO, DiskReq::SeqWrite { bytes: 14 << 20 });
         assert!(t2 > t1);
         assert!((t2.as_secs_f64() - 2.0 * t1.as_secs_f64()).abs() < 1e-9);

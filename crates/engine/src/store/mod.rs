@@ -79,7 +79,10 @@ impl TableSet {
 
     /// Tables at a given level, in id order.
     pub fn at_level(&self, level: u8) -> Vec<&SsTable> {
-        self.tables.values().filter(|t| t.level() == level).collect()
+        self.tables
+            .values()
+            .filter(|t| t.level() == level)
+            .collect()
     }
 
     /// The highest populated level.
@@ -108,7 +111,10 @@ impl TableSet {
     /// Number of tables whose *range* includes the key (bloom checks the
     /// read path must pay for, whether or not they pass).
     pub fn range_matches(&self, key: Key) -> usize {
-        self.tables.values().filter(|t| t.range_contains(key)).count()
+        self.tables
+            .values()
+            .filter(|t| t.range_contains(key))
+            .count()
     }
 
     /// Single-pass read probe: returns the [`TableSet::range_matches`]
@@ -201,7 +207,11 @@ mod tests {
         for k in [0u64, 1, 2, 4, 10, 15, 99] {
             let n = set.probe_into(Key(k), &mut scratch);
             assert_eq!(n, set.range_matches(Key(k)), "range count for key {k}");
-            assert_eq!(scratch, set.candidates_for(Key(k)), "candidates for key {k}");
+            assert_eq!(
+                scratch,
+                set.candidates_for(Key(k)),
+                "candidates for key {k}"
+            );
         }
     }
 

@@ -83,7 +83,9 @@ impl PayloadArena {
             buf.extend_from_slice(&word.to_le_bytes());
         }
         buf.truncate(len);
-        PayloadArena { buf: Bytes::from(buf) }
+        PayloadArena {
+            buf: Bytes::from(buf),
+        }
     }
 
     /// Produces a payload of `len` bytes; `tag` varies the offset so

@@ -216,7 +216,13 @@ pub fn merge_tables<F: FnMut() -> TableId>(
         run.push(row);
     }
     if !run.is_empty() {
-        out.push(SsTable::from_rows(next_id(), level, run, fp_chance, block_bytes));
+        out.push(SsTable::from_rows(
+            next_id(),
+            level,
+            run,
+            fp_chance,
+            block_bytes,
+        ));
     }
     out
 }

@@ -166,7 +166,10 @@ impl Optimizer {
             cfg.tournament > 0 && cfg.tournament <= cfg.population,
             "tournament size must be in 1..=population"
         );
-        assert!(cfg.elitism < cfg.population, "elitism must be below population");
+        assert!(
+            cfg.elitism < cfg.population,
+            "elitism must be below population"
+        );
         Optimizer { space, cfg }
     }
 
@@ -185,9 +188,7 @@ impl Optimizer {
     /// called once per genome in population order, so both entry points
     /// produce identical trajectories for a fixed seed.
     pub fn run<F: FnMut(&[f64]) -> f64>(&self, mut fitness: F) -> GaResult {
-        self.run_batch(|population| {
-            population.iter().map(|g| fitness(g.as_slice())).collect()
-        })
+        self.run_batch(|population| population.iter().map(|g| fitness(g.as_slice())).collect())
     }
 
     /// Runs the GA with a population-batched evaluator, maximizing
@@ -217,8 +218,9 @@ impl Optimizer {
         };
 
         // Initial population: uniformly random feasible genomes.
-        let mut population: Vec<Vec<f64>> =
-            (0..cfg.population).map(|_| self.space.sample(&mut rng)).collect();
+        let mut population: Vec<Vec<f64>> = (0..cfg.population)
+            .map(|_| self.space.sample(&mut rng))
+            .collect();
         let mut scores = score_all(&population, &mut evaluations, &mut fitness);
 
         let mut history = Vec::with_capacity(cfg.generations);
@@ -294,7 +296,11 @@ impl Optimizer {
                     .filter(|(r, &v)| v == 0.0 && r.is_finite())
                     .map(|(&r, _)| r)
                     .fold(f64::INFINITY, f64::min);
-                let anchor = if worst_feasible.is_finite() { worst_feasible } else { 0.0 };
+                let anchor = if worst_feasible.is_finite() {
+                    worst_feasible
+                } else {
+                    0.0
+                };
                 raw.into_iter()
                     .zip(&viols)
                     .map(|(r, &v)| if v > 0.0 { anchor - v } else { r })
@@ -345,16 +351,14 @@ impl Optimizer {
                         // only through the initial samples.
                         let range = (spec.hi() - spec.lo()).max(1e-12);
                         let step = self.cfg.mutation_scale * range;
-                        let noise: f64 =
-                            rng.gen_range(-0.5..0.5) + rng.gen_range(-0.5..0.5);
+                        let noise: f64 = rng.gen_range(-0.5..0.5) + rng.gen_range(-0.5..0.5);
                         *g = (*g + noise * step).round().clamp(spec.lo(), spec.hi());
                     }
                     GeneSpec::Real { .. } => {
                         let range = (spec.hi() - spec.lo()).max(1e-12);
                         let step = self.cfg.mutation_scale * range;
                         // Triangular noise around 0 (sum of two uniforms).
-                        let noise: f64 =
-                            rng.gen_range(-0.5..0.5) + rng.gen_range(-0.5..0.5);
+                        let noise: f64 = rng.gen_range(-0.5..0.5) + rng.gen_range(-0.5..0.5);
                         *g = (*g + noise * step).clamp(spec.lo(), spec.hi());
                     }
                 }
@@ -445,9 +449,8 @@ mod tests {
             generations: 60,
             ..GaConfig::default()
         };
-        let r = Optimizer::new(space, cfg).run(|g| {
-            -g.iter().map(|x| (x - 1.5) * (x - 1.5)).sum::<f64>()
-        });
+        let r = Optimizer::new(space, cfg)
+            .run(|g| -g.iter().map(|x| (x - 1.5) * (x - 1.5)).sum::<f64>());
         for &v in &r.best_genome {
             assert!((v - 1.5).abs() < 0.2, "{:?}", r.best_genome);
         }
@@ -496,7 +499,13 @@ mod tests {
                 ..GaConfig::default()
             },
         )
-        .run(|g| if g[0].round() as usize == 3 { 10.0 } else { 0.0 });
+        .run(|g| {
+            if g[0].round() as usize == 3 {
+                10.0
+            } else {
+                0.0
+            }
+        });
         assert_eq!(r.best_genome[0], 3.0);
     }
 
@@ -545,7 +554,10 @@ mod tests {
     fn run_batch_matches_run_bit_for_bit() {
         let space = SearchSpace::new(vec![
             GeneSpec::Int { min: 0, max: 10 },
-            GeneSpec::Real { min: -1.0, max: 1.0 },
+            GeneSpec::Real {
+                min: -1.0,
+                max: 1.0,
+            },
         ]);
         let cfg = GaConfig {
             population: 20,
@@ -587,8 +599,7 @@ mod tests {
             seed: 4,
             ..GaConfig::default()
         };
-        let r = Optimizer::new(space, cfg)
-            .run(|g| if g[0] > 0.0 { f64::NAN } else { -g[1].abs() });
+        let r = Optimizer::new(space, cfg).run(|g| if g[0] > 0.0 { f64::NAN } else { -g[1].abs() });
         // The search must complete with full history; NaN genomes rank
         // below every numeric score, so the tracked best is numeric
         // whenever any genome in the generation scored one.
@@ -610,8 +621,7 @@ mod tests {
             seed: 2,
             ..GaConfig::default()
         };
-        let r = Optimizer::new(space.clone(), cfg)
-            .run(|g| -1_000.0 - (g[0] - 7.0).abs());
+        let r = Optimizer::new(space.clone(), cfg).run(|g| -1_000.0 - (g[0] - 7.0).abs());
         assert!(space.is_feasible(&r.best_genome), "{:?}", r.best_genome);
         assert!(
             (r.best_genome[0] - 7.0).abs() <= 2.0,
@@ -630,8 +640,8 @@ mod tests {
             constraint_handling: ConstraintHandling::Penalty,
             ..GaConfig::default()
         };
-        let r = Optimizer::new(space.clone(), cfg)
-            .run(|g| -(g[0] - 42.3).abs() - (g[1] - 0.5).abs());
+        let r =
+            Optimizer::new(space.clone(), cfg).run(|g| -(g[0] - 42.3).abs() - (g[1] - 0.5).abs());
         // For a positive-ish objective the legacy penalty still steers the
         // search onto the feasible set (the repaired best is integral).
         assert!(space.is_feasible(&r.best_genome));

@@ -102,7 +102,12 @@ impl Dataset {
     ///
     /// Panics unless `0 < test_fraction < 1` or when there are fewer than
     /// two groups.
-    pub fn split_by_group<K, F>(&self, test_fraction: f64, seed: u64, key_of: F) -> (Dataset, Dataset)
+    pub fn split_by_group<K, F>(
+        &self,
+        test_fraction: f64,
+        seed: u64,
+        key_of: F,
+    ) -> (Dataset, Dataset)
     where
         K: Eq + std::hash::Hash + Clone,
         F: Fn(usize, &[f64]) -> K,
@@ -125,8 +130,8 @@ impl Dataset {
         assert!(groups.len() >= 2, "group split needs at least two groups");
         let mut order: Vec<usize> = (0..groups.len()).collect();
         order.shuffle(&mut StdRng::seed_from_u64(seed));
-        let n_test_groups = ((groups.len() as f64 * test_fraction).round() as usize)
-            .clamp(1, groups.len() - 1);
+        let n_test_groups =
+            ((groups.len() as f64 * test_fraction).round() as usize).clamp(1, groups.len() - 1);
         let test_groups: std::collections::HashSet<usize> =
             order[..n_test_groups].iter().copied().collect();
         let mut train_idx = Vec::new();
@@ -191,8 +196,9 @@ mod tests {
         // Exactly one of four groups held out -> 5 test samples.
         assert_eq!(test.len(), 5);
         // No group key appears in both sides.
-        let test_keys: std::collections::HashSet<i64> =
-            (0..test.len()).map(|i| (test.row(i)[0] as i64) % 4).collect();
+        let test_keys: std::collections::HashSet<i64> = (0..test.len())
+            .map(|i| (test.row(i)[0] as i64) % 4)
+            .collect();
         for i in 0..train.len() {
             assert!(!test_keys.contains(&((train.row(i)[0] as i64) % 4)));
         }

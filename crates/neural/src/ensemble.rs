@@ -9,11 +9,11 @@
 //! of 14 networks in this case."*
 
 use crate::dataset::Dataset;
+use crate::linalg::Matrix;
 use crate::network::Network;
 use crate::scaler::MinMaxScaler;
 use crate::surrogate::Surrogate;
 use crate::train::{train_levenberg_marquardt, TrainConfig, TrainReport};
-use crate::linalg::Matrix;
 use serde::{Deserialize, Serialize};
 
 /// Configuration for fitting a [`SurrogateModel`].
@@ -95,11 +95,7 @@ impl SurrogateModel {
         assert!(!dataset.is_empty(), "cannot fit surrogate on empty dataset");
         assert!(cfg.ensemble_size > 0, "ensemble_size must be positive");
         let x_scaler = MinMaxScaler::fit(dataset.features());
-        let y_matrix = Matrix::from_vec(
-            dataset.len(),
-            1,
-            dataset.targets().to_vec(),
-        );
+        let y_matrix = Matrix::from_vec(dataset.len(), 1, dataset.targets().to_vec());
         let y_scaler = MinMaxScaler::fit(&y_matrix);
         let x = x_scaler.transform(dataset.features());
         let y: Vec<f64> = dataset
@@ -114,34 +110,32 @@ impl SurrogateModel {
             .min(cfg.ensemble_size);
         let next = std::sync::atomic::AtomicUsize::new(0);
         let (x_ref, y_ref, next_ref) = (&x, &y, &next);
-        let locals: Vec<Vec<(usize, Network, TrainReport)>> =
-            crossbeam::thread::scope(|s| {
-                let handles: Vec<_> = (0..workers)
-                    .map(|_| {
-                        s.spawn(move |_| {
-                            let mut local = Vec::new();
-                            loop {
-                                let i = next_ref
-                                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                                if i >= cfg.ensemble_size {
-                                    break;
-                                }
-                                let seed = cfg.seed.wrapping_add(i as u64);
-                                let mut net = Network::new(x_ref.cols(), &cfg.hidden, seed);
-                                let report =
-                                    train_levenberg_marquardt(&mut net, x_ref, y_ref, &cfg.train);
-                                local.push((i, net, report));
+        let locals: Vec<Vec<(usize, Network, TrainReport)>> = crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    s.spawn(move |_| {
+                        let mut local = Vec::new();
+                        loop {
+                            let i = next_ref.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            if i >= cfg.ensemble_size {
+                                break;
                             }
-                            local
-                        })
+                            let seed = cfg.seed.wrapping_add(i as u64);
+                            let mut net = Network::new(x_ref.cols(), &cfg.hidden, seed);
+                            let report =
+                                train_levenberg_marquardt(&mut net, x_ref, y_ref, &cfg.train);
+                            local.push((i, net, report));
+                        }
+                        local
                     })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("surrogate training thread panicked"))
-                    .collect()
-            })
-            .expect("surrogate training scope panicked");
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("surrogate training thread panicked"))
+                .collect()
+        })
+        .expect("surrogate training scope panicked");
 
         let mut slots: Vec<Option<(Network, TrainReport)>> =
             (0..cfg.ensemble_size).map(|_| None).collect();
@@ -159,11 +153,7 @@ impl SurrogateModel {
         let keep = cfg.ensemble_size
             - ((cfg.ensemble_size as f64 * cfg.prune_fraction).floor() as usize)
                 .min(cfg.ensemble_size - 1);
-        trained.sort_by(|a, b| {
-            a.1.sse
-                .partial_cmp(&b.1.sse)
-                .expect("NaN training error")
-        });
+        trained.sort_by(|a, b| a.1.sse.partial_cmp(&b.1.sse).expect("NaN training error"));
         let pruned = trained.len() - keep;
         trained.truncate(keep);
         let (nets, reports): (Vec<_>, Vec<_>) = trained.into_iter().unzip();
@@ -198,7 +188,11 @@ impl SurrogateModel {
     ///
     /// Panics when the row dimension does not match the training data.
     pub fn predict(&self, row: &[f64]) -> f64 {
-        assert_eq!(row.len(), self.x_scaler.dims(), "feature dimension mismatch");
+        assert_eq!(
+            row.len(),
+            self.x_scaler.dims(),
+            "feature dimension mismatch"
+        );
         let mut scaled = row.to_vec();
         self.x_scaler.transform_row(&mut scaled);
         let sum: f64 = self.nets.iter().map(|n| n.forward(&scaled)).sum();
@@ -216,7 +210,11 @@ impl SurrogateModel {
     ///
     /// Panics when the column count does not match the training data.
     pub fn predict_batch(&self, rows: &Matrix) -> Vec<f64> {
-        assert_eq!(rows.cols(), self.x_scaler.dims(), "feature dimension mismatch");
+        assert_eq!(
+            rows.cols(),
+            self.x_scaler.dims(),
+            "feature dimension mismatch"
+        );
         let scaled = self.x_scaler.transform(rows);
         let mut sums = vec![0.0f64; rows.rows()];
         for net in &self.nets {
@@ -261,8 +259,11 @@ mod tests {
                 let b = j as f64 / (n_per_axis - 1) as f64;
                 rows.push(vec![a * 100.0, b * 8.0]);
                 // Non-linear response surface in "throughput" units.
-                targets.push(50_000.0 + 30_000.0 * (2.0 * a - 1.0).tanh() * b
-                    + 10_000.0 * (a * std::f64::consts::PI).sin());
+                targets.push(
+                    50_000.0
+                        + 30_000.0 * (2.0 * a - 1.0).tanh() * b
+                        + 10_000.0 * (a * std::f64::consts::PI).sin(),
+                );
             }
         }
         Dataset::from_rows(&rows, targets)
@@ -292,11 +293,17 @@ mod tests {
     #[test]
     fn single_net_keeps_one() {
         let data = smooth_dataset(5);
-        let model = SurrogateModel::fit(&data, &SurrogateConfig {
-            hidden: vec![6],
-            train: TrainConfig { max_epochs: 40, ..TrainConfig::default() },
-            ..SurrogateConfig::single_net(1)
-        });
+        let model = SurrogateModel::fit(
+            &data,
+            &SurrogateConfig {
+                hidden: vec![6],
+                train: TrainConfig {
+                    max_epochs: 40,
+                    ..TrainConfig::default()
+                },
+                ..SurrogateConfig::single_net(1)
+            },
+        );
         assert_eq!(model.ensemble_size(), 1);
         assert_eq!(model.pruned_count(), 0);
     }

@@ -46,7 +46,11 @@ impl Matrix {
             assert_eq!(row.len(), c, "ragged rows in Matrix::from_rows");
             data.extend_from_slice(row);
         }
-        Matrix { rows: r, cols: c, data }
+        Matrix {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Creates a matrix from a flat row-major buffer.
@@ -374,7 +378,10 @@ mod tests {
         let a = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
         let b = Matrix::from_rows(&[vec![7.0, 8.0], vec![9.0, 10.0], vec![11.0, 12.0]]);
         let c = a.matmul(&b);
-        assert_eq!(c, Matrix::from_rows(&[vec![58.0, 64.0], vec![139.0, 154.0]]));
+        assert_eq!(
+            c,
+            Matrix::from_rows(&[vec![58.0, 64.0], vec![139.0, 154.0]])
+        );
     }
 
     #[test]
@@ -422,7 +429,11 @@ mod tests {
     #[test]
     fn lu_solves_general_system() {
         // Non-symmetric system.
-        let a = Matrix::from_rows(&[vec![0.0, 2.0, 1.0], vec![1.0, -2.0, -3.0], vec![-1.0, 1.0, 2.0]]);
+        let a = Matrix::from_rows(&[
+            vec![0.0, 2.0, 1.0],
+            vec![1.0, -2.0, -3.0],
+            vec![-1.0, 1.0, 2.0],
+        ]);
         let b = [-8.0, 0.0, 3.0];
         let x = a.lu_solve(&b).unwrap();
         // Verify A x = b.

@@ -64,7 +64,10 @@ impl Network {
     /// Panics if `input_dim == 0` or any hidden size is 0.
     pub fn new(input_dim: usize, hidden: &[usize], seed: u64) -> Self {
         assert!(input_dim > 0, "input_dim must be positive");
-        assert!(hidden.iter().all(|&h| h > 0), "hidden sizes must be positive");
+        assert!(
+            hidden.iter().all(|&h| h > 0),
+            "hidden sizes must be positive"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         let mut layers = Vec::new();
         let mut prev = input_dim;
@@ -76,7 +79,12 @@ impl Network {
         Network { layers, input_dim }
     }
 
-    fn init_layer(in_dim: usize, out_dim: usize, activation: Activation, rng: &mut StdRng) -> Layer {
+    fn init_layer(
+        in_dim: usize,
+        out_dim: usize,
+        activation: Activation,
+        rng: &mut StdRng,
+    ) -> Layer {
         let limit = (6.0 / (in_dim + out_dim) as f64).sqrt();
         Layer {
             weights: (0..in_dim * out_dim)
@@ -200,10 +208,10 @@ impl Network {
                 &cache.activations[l - 1]
             };
             let d = &deltas[l];
-            for o in 0..layer.out_dim {
+            for (o, &d_o) in d.iter().enumerate().take(layer.out_dim) {
                 let base = at + o * layer.in_dim;
                 for (i, &p) in prev_act.iter().enumerate() {
-                    grad[base + i] = d[o] * p;
+                    grad[base + i] = d_o * p;
                 }
             }
             at += layer.weights.len();

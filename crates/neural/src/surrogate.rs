@@ -56,7 +56,9 @@ impl Surrogate for SurrogateModel {
 
 impl Surrogate for KnnRegressor {
     fn predict_batch(&self, rows: &Matrix) -> Vec<f64> {
-        (0..rows.rows()).map(|r| KnnRegressor::predict(self, rows.row(r))).collect()
+        (0..rows.rows())
+            .map(|r| KnnRegressor::predict(self, rows.row(r)))
+            .collect()
     }
 
     fn predict(&self, row: &[f64]) -> f64 {
@@ -66,7 +68,9 @@ impl Surrogate for KnnRegressor {
 
 impl Surrogate for RegressionTree {
     fn predict_batch(&self, rows: &Matrix) -> Vec<f64> {
-        (0..rows.rows()).map(|r| RegressionTree::predict(self, rows.row(r))).collect()
+        (0..rows.rows())
+            .map(|r| RegressionTree::predict(self, rows.row(r)))
+            .collect()
     }
 
     fn predict(&self, row: &[f64]) -> f64 {

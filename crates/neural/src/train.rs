@@ -191,8 +191,7 @@ pub fn train_levenberg_marquardt(
             h.add_diagonal(2.0 * alpha);
             if let Some(chol) = h.cholesky() {
                 let tr_inv = chol.inverse_trace();
-                gamma = (w_count as f64 - 2.0 * alpha * tr_inv)
-                    .clamp(1e-3, w_count as f64);
+                gamma = (w_count as f64 - 2.0 * alpha * tr_inv).clamp(1e-3, w_count as f64);
                 alpha = (gamma / (2.0 * ew.max(1e-12))).min(1e6);
                 let dof = (n as f64 - gamma).max(1e-3);
                 beta = (dof / (2.0 * ed.max(1e-12))).min(1e9);
@@ -221,10 +220,10 @@ fn residuals_and_jacobian(net: &Network, x: &Matrix, y: &[f64]) -> (Vec<f64>, Ma
     let mut jac = Matrix::zeros(n, w);
     let mut residuals = Vec::with_capacity(n);
     let mut cache = ForwardCache::default();
-    for s in 0..n {
+    for (s, &y_s) in y.iter().enumerate().take(n) {
         let row = x.row(s);
         let out = net.forward_cached(row, &mut cache);
-        residuals.push(out - y[s]);
+        residuals.push(out - y_s);
         net.output_gradient(row, &cache, jac.row_mut(s));
     }
     (residuals, jac)
@@ -278,8 +277,7 @@ mod tests {
         let (x, y) = toy_problem(|a, b| 0.5 * a + 0.2 * b);
         // Deliberately over-parameterized network on a linear target.
         let mut net = Network::new(2, &[14, 4], 3);
-        let report =
-            train_levenberg_marquardt(&mut net, &x, &y, &TrainConfig::default());
+        let report = train_levenberg_marquardt(&mut net, &x, &y, &TrainConfig::default());
         let w = net.num_params() as f64;
         assert!(
             report.effective_params < w,

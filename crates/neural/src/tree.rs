@@ -65,8 +65,7 @@ impl RegressionTree {
     }
 
     fn build(&mut self, data: &Dataset, idx: Vec<usize>, depth: usize, cfg: &TreeConfig) -> usize {
-        let mean: f64 =
-            idx.iter().map(|&i| data.targets()[i]).sum::<f64>() / idx.len() as f64;
+        let mean: f64 = idx.iter().map(|&i| data.targets()[i]).sum::<f64>() / idx.len() as f64;
         if depth >= cfg.max_depth || idx.len() < 2 * cfg.min_leaf {
             self.nodes.push(Node::Leaf { value: mean });
             return self.nodes.len() - 1;
@@ -75,8 +74,9 @@ impl RegressionTree {
             self.nodes.push(Node::Leaf { value: mean });
             return self.nodes.len() - 1;
         };
-        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
-            idx.into_iter().partition(|&i| data.row(i)[dim] <= threshold);
+        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = idx
+            .into_iter()
+            .partition(|&i| data.row(i)[dim] <= threshold);
         // Reserve this node's slot before recursing.
         let slot = self.nodes.len();
         self.nodes.push(Node::Leaf { value: mean });
@@ -108,7 +108,11 @@ impl RegressionTree {
                     left,
                     right,
                 } => {
-                    at = if row[*dim] <= *threshold { *left } else { *right };
+                    at = if row[*dim] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -172,9 +176,10 @@ fn best_split(data: &Dataset, idx: &[usize], min_leaf: usize) -> Option<(usize, 
             }
             let right_sum = total_sum - left_sum;
             let right_sq = total_sq - left_sq;
-            let sse = (left_sq - left_sum * left_sum / nl) + (right_sq - right_sum * right_sum / nr);
+            let sse =
+                (left_sq - left_sum * left_sum / nl) + (right_sq - right_sum * right_sum / nr);
             let reduction = base_sse - sse;
-            if best.map_or(true, |(_, _, s)| reduction > s) && reduction > 1e-12 {
+            if best.is_none_or(|(_, _, s)| reduction > s) && reduction > 1e-12 {
                 best = Some((dim, (here + next) / 2.0, reduction));
             }
         }

@@ -2,18 +2,27 @@
 //! out, one response frame back. Doubles as the load generator for the
 //! CLI (`rafiki client`) and the loopback tests.
 
-use crate::protocol::{ConfigReport, Request, Response, StatsReport};
+use crate::protocol::{BatchResult, ConfigReport, Request, Response, StatsReport, MAX_BATCH};
 use crate::wire::Json;
 use rafiki_stats::StreamingHistogram;
 use rafiki_workload::{Operation, OperationSource};
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
+/// Ops per frame used by [`Client::drive`] (large enough to amortize
+/// framing and the server's per-frame lock, small enough to keep
+/// latency-sample merges timely).
+pub const DRIVE_BATCH: usize = 64;
+
 /// A connection to a running [`crate::Server`].
 #[derive(Debug)]
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    /// Reused inbound-frame buffer.
+    line: String,
+    /// Reused outbound-frame buffer.
+    out: String,
 }
 
 impl Client {
@@ -28,6 +37,8 @@ impl Client {
         Ok(Client {
             reader: BufReader::new(stream.try_clone()?),
             writer: stream,
+            line: String::new(),
+            out: String::new(),
         })
     }
 
@@ -38,17 +49,20 @@ impl Client {
     /// Fails on socket errors, an unparsable response, or a closed
     /// connection.
     pub fn call(&mut self, request: &Request) -> io::Result<Response> {
-        self.writer
-            .write_all(request.to_json().encode().as_bytes())?;
-        self.writer.write_all(b"\n")?;
-        let mut line = String::new();
-        if self.reader.read_line(&mut line)? == 0 {
+        // Frame + newline are staged in the reusable scratch buffer and
+        // hit the socket as a single write.
+        self.out.clear();
+        request.to_json().encode_into(&mut self.out);
+        self.out.push('\n');
+        self.writer.write_all(self.out.as_bytes())?;
+        self.line.clear();
+        if self.reader.read_line(&mut self.line)? == 0 {
             return Err(io::Error::new(
                 io::ErrorKind::UnexpectedEof,
                 "server closed the connection",
             ));
         }
-        let parsed = Json::parse(line.trim())
+        let parsed = Json::parse(self.line.trim())
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
         Response::from_json(&parsed).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
     }
@@ -105,9 +119,66 @@ impl Client {
         }
     }
 
+    /// Executes a batch of operations in one frame; returns their
+    /// simulated latencies in request order.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors, on a top-level `error` frame (e.g. a
+    /// batch over [`MAX_BATCH`] ops), on a result-count mismatch, or on
+    /// the first per-op error in the batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `ops` exceeds [`MAX_BATCH`] — chunk first (as
+    /// [`Client::drive_batched`] does).
+    pub fn batch(&mut self, ops: &[Operation]) -> io::Result<Vec<u64>> {
+        assert!(
+            ops.len() <= MAX_BATCH,
+            "batch of {} exceeds MAX_BATCH = {MAX_BATCH}",
+            ops.len()
+        );
+        // Encode straight into the scratch buffer — no `Json` tree.
+        self.out.clear();
+        crate::protocol::encode_batch_into(ops, &mut self.out);
+        self.out.push('\n');
+        self.writer.write_all(self.out.as_bytes())?;
+        self.line.clear();
+        if self.reader.read_line(&mut self.line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        let parsed = Json::parse(self.line.trim())
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let response = Response::from_json(&parsed)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        match response {
+            Response::Batch(results) => {
+                if results.len() != ops.len() {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("sent {} ops, got {} results", ops.len(), results.len()),
+                    ));
+                }
+                results
+                    .into_iter()
+                    .map(|r| match r {
+                        BatchResult::Done { latency_us } => Ok(latency_us),
+                        BatchResult::Error { message } => Err(io::Error::other(message)),
+                    })
+                    .collect()
+            }
+            Response::Error { message } => Err(io::Error::other(message)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
     /// Load-generator mode: pulls `ops` operations from `source`, executes
-    /// them in order, and returns the client-side latency histogram
-    /// (merge-able into others via [`StreamingHistogram::merge`]).
+    /// them in order in batched frames of [`DRIVE_BATCH`], and returns the
+    /// client-side latency histogram (merge-able into others via
+    /// [`StreamingHistogram::merge`]).
     ///
     /// # Errors
     ///
@@ -117,9 +188,41 @@ impl Client {
         source: &mut S,
         ops: usize,
     ) -> io::Result<StreamingHistogram> {
+        self.drive_batched(source, ops, DRIVE_BATCH)
+    }
+
+    /// [`Client::drive`] with an explicit frame size. `batch <= 1` uses
+    /// one single-op frame per operation (the unbatched wire path — the
+    /// baseline the serve benchmark compares against); larger values
+    /// chunk the stream into `batch`-op frames, capped at [`MAX_BATCH`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first operation that errors.
+    pub fn drive_batched<S: OperationSource + ?Sized>(
+        &mut self,
+        source: &mut S,
+        ops: usize,
+        batch: usize,
+    ) -> io::Result<StreamingHistogram> {
         let mut histogram = StreamingHistogram::new();
-        for _ in 0..ops {
-            histogram.record(self.op(source.next_op())?);
+        if batch <= 1 {
+            for _ in 0..ops {
+                histogram.record(self.op(source.next_op())?);
+            }
+            return Ok(histogram);
+        }
+        let batch = batch.min(MAX_BATCH);
+        let mut chunk = Vec::with_capacity(batch);
+        let mut remaining = ops;
+        while remaining > 0 {
+            let n = remaining.min(batch);
+            chunk.clear();
+            chunk.extend((0..n).map(|_| source.next_op()));
+            for latency_us in self.batch(&chunk)? {
+                histogram.record(latency_us);
+            }
+            remaining -= n;
         }
         Ok(histogram)
     }

@@ -8,8 +8,8 @@
 //! online:
 //!
 //! - [`wire`] — a dependency-free newline-delimited JSON codec;
-//! - [`protocol`] — typed request/response frames (`op`, `stats`,
-//!   `config`, `shutdown`);
+//! - [`protocol`] — typed request/response frames (`op`, `batch`,
+//!   `stats`, `config`, `shutdown`);
 //! - [`server`] — the daemon: every operation runs to completion on the
 //!   simulated engine, feeds the streaming
 //!   [`rafiki_workload::OnlineCharacterizer`], and each closed window is
@@ -44,8 +44,8 @@ pub mod wire;
 
 pub use client::Client;
 pub use protocol::{
-    ConfigReport, ConfigSummary, LatencySummary, ReconfigEvent, Request, Response, StatsReport,
-    WindowActivity,
+    BatchResult, ConfigReport, ConfigSummary, LatencySummary, ReconfigEvent, Request, Response,
+    StatsReport, WindowActivity, MAX_BATCH,
 };
 pub use server::{ServeConfig, ServeReport, Server};
 pub use wire::{Json, JsonError};

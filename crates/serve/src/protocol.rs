@@ -6,30 +6,80 @@
 //! {"type":"op","kind":"read","key":42}
 //! {"type":"op","kind":"insert","key":7,"len":800}
 //! {"type":"op","kind":"scan","key":100,"len":50}
+//! {"type":"batch","ops":[[0,42],[1,7,800],[4,100,50]]}
 //! {"type":"stats"}
 //! {"type":"config"}
 //! {"type":"shutdown"}
 //! ```
 //!
 //! Responses mirror the request kind: `done` (with the simulated latency)
-//! for operations, `stats`/`config` reports, `bye` for shutdown, and
-//! `error` with a message for malformed or failed requests.
+//! for operations, `batch` with one result per op, `stats`/`config`
+//! reports, `bye` for shutdown, and `error` with a message for malformed
+//! or failed requests.
+//!
+//! A `batch` frame carries up to [`MAX_BATCH`] operations. Unlike
+//! single-op frames, batch elements use a *compact positional form*
+//! `[code, key]` / `[code, key, len]` with numeric op codes (0 read,
+//! 1 insert, 2 update, 3 delete, 4 scan): parsing hundreds of
+//! `{"kind":...,"key":...}` objects per frame costs more CPU than the
+//! engine work itself (string keys, one allocation per member), which
+//! would cancel most of what batching saves. A `batch` response is the
+//! mirror image — `results` holds a plain latency number per completed
+//! op, or an `{"error":...}` object for a failed one.
+//!
+//! Batch decoding is per-op: one malformed element becomes an error
+//! entry in the `batch` response at the same index, while the rest of
+//! the frame — and the connection — proceed normally. Only a frame
+//! exceeding [`MAX_BATCH`], or one whose `ops` member is missing or not
+//! an array, is rejected as a whole with a top-level `error` response.
 
 use crate::wire::Json;
 use rafiki_engine::{CompactionMethod, EngineConfig};
 use rafiki_workload::{Key, OpKind, Operation};
 
+/// Most operations a single `batch` frame may carry. Oversized frames
+/// are rejected whole (top-level `error`), bounding per-frame memory and
+/// the time one client can hold the engine lock.
+pub const MAX_BATCH: usize = 1024;
+
 /// A client-to-server frame.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Request {
     /// Execute one datastore operation.
     Op(Operation),
+    /// Execute up to [`MAX_BATCH`] operations in one frame. Each element
+    /// is the *decode outcome* of one op: a malformed element survives
+    /// decoding as `Err(message)` so the server can answer it with a
+    /// per-op error while executing the rest.
+    Batch(Vec<Result<Operation, String>>),
     /// Report aggregate statistics.
     Stats,
     /// Report the active configuration and reconfiguration history.
     Config,
     /// Stop the daemon (all connections drain, the accept loop exits).
     Shutdown,
+}
+
+impl Request {
+    /// A batch frame of well-formed operations.
+    pub fn batch<I: IntoIterator<Item = Operation>>(ops: I) -> Request {
+        Request::Batch(ops.into_iter().map(Ok).collect())
+    }
+}
+
+/// The per-op outcome inside a `batch` response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BatchResult {
+    /// The operation completed with the given simulated latency.
+    Done {
+        /// Simulated operation latency in microseconds.
+        latency_us: u64,
+    },
+    /// The operation failed (malformed, or rejected by the engine).
+    Error {
+        /// What went wrong.
+        message: String,
+    },
 }
 
 /// Aggregated latency digest, from the merged per-client histograms.
@@ -150,6 +200,8 @@ pub enum Response {
         /// Simulated operation latency in microseconds.
         latency_us: u64,
     },
+    /// Per-op results for a `batch` request, in request order.
+    Batch(Vec<BatchResult>),
     /// Statistics report.
     Stats(StatsReport),
     /// Configuration report.
@@ -189,28 +241,226 @@ fn require_str<'j>(v: &'j Json, key: &str) -> Result<&'j str, String> {
         .ok_or_else(|| format!("field {key} must be a string"))
 }
 
+/// The `kind`/`key`[/`len`] members describing one operation (shared by
+/// single-op frames and batch elements).
+fn op_pairs(op: &Operation) -> Vec<(&'static str, Json)> {
+    let kind = match op.kind {
+        OpKind::Read => "read",
+        OpKind::Insert => "insert",
+        OpKind::Update => "update",
+        OpKind::Delete => "delete",
+        OpKind::Scan => "scan",
+    };
+    let mut pairs = vec![("kind", Json::str(kind)), ("key", num(op.key.0))];
+    if op.payload_len > 0 {
+        pairs.push(("len", num(op.payload_len as u64)));
+    }
+    pairs
+}
+
+/// Numeric op codes of the compact batch-element form `[code, key]` /
+/// `[code, key, len]`.
+const CODE_READ: u64 = 0;
+const CODE_INSERT: u64 = 1;
+const CODE_UPDATE: u64 = 2;
+const CODE_DELETE: u64 = 3;
+const CODE_SCAN: u64 = 4;
+
+/// Encodes one operation in the compact batch-element form.
+fn op_compact(op: &Operation) -> Json {
+    let code = match op.kind {
+        OpKind::Read => CODE_READ,
+        OpKind::Insert => CODE_INSERT,
+        OpKind::Update => CODE_UPDATE,
+        OpKind::Delete => CODE_DELETE,
+        OpKind::Scan => CODE_SCAN,
+    };
+    let mut parts = vec![num(code), num(op.key.0)];
+    if op.payload_len > 0 {
+        parts.push(num(op.payload_len as u64));
+    }
+    Json::Arr(parts)
+}
+
+/// Builds one operation from the parts of a compact batch element.
+fn op_from_parts(code: u64, key: u64, len: u32) -> Result<Operation, String> {
+    let key = Key(key);
+    match code {
+        CODE_READ => Ok(Operation::read(key)),
+        CODE_INSERT => Ok(Operation::insert(key, len)),
+        CODE_UPDATE => Ok(Operation::update(key, len)),
+        CODE_DELETE => Ok(Operation::delete(key)),
+        CODE_SCAN if len > 0 => Ok(Operation::scan(key, len)),
+        CODE_SCAN => Err("scan needs len >= 1".to_string()),
+        _ => Err("unknown op code".to_string()),
+    }
+}
+
+/// The exact frame prefix [`Request::to_json`] emits for batch frames.
+const BATCH_FRAME_PREFIX: &str = "{\"type\":\"batch\",\"ops\":[";
+
+/// Encodes a batch of operations directly into `out` — byte-identical
+/// to `Request::batch(ops).to_json().encode_into(out)` but with no
+/// intermediate `Json` tree (no per-op allocations). The client's frame
+/// hot path.
+pub fn encode_batch_into(ops: &[Operation], out: &mut String) {
+    use std::fmt::Write as _;
+    out.push_str(BATCH_FRAME_PREFIX);
+    for (i, op) in ops.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let code = match op.kind {
+            OpKind::Read => CODE_READ,
+            OpKind::Insert => CODE_INSERT,
+            OpKind::Update => CODE_UPDATE,
+            OpKind::Delete => CODE_DELETE,
+            OpKind::Scan => CODE_SCAN,
+        };
+        let _ = write!(out, "[{code},{}", op.key.0);
+        if op.payload_len > 0 {
+            let _ = write!(out, ",{}", op.payload_len);
+        }
+        out.push(']');
+    }
+    out.push_str("]}");
+}
+
+/// Scans one decimal `u64` starting at `i`; returns `(value, next)`.
+fn scan_u64(bytes: &[u8], mut i: usize) -> Option<(u64, usize)> {
+    let start = i;
+    let mut value: u64 = 0;
+    while let Some(d) = bytes.get(i).and_then(|b| (*b as char).to_digit(10)) {
+        value = value.checked_mul(10)?.checked_add(d as u64)?;
+        i += 1;
+    }
+    (i > start).then_some((value, i))
+}
+
+/// Zero-allocation (per element) decoder for *canonical* batch frames —
+/// exactly the shape [`encode_batch_into`] emits, no whitespace.
+/// Returns `None` for anything else (including frames over
+/// [`MAX_BATCH`]); the caller falls back to the generic `Json` path,
+/// which reports precise per-op and whole-frame errors. The server's
+/// frame hot path: parsing hundreds of elements through the generic
+/// `Json` tree costs more than the engine work in a batch.
+pub fn decode_batch_fast(line: &str) -> Option<Request> {
+    let body = line
+        .strip_prefix(BATCH_FRAME_PREFIX)?
+        .strip_suffix("]}")?
+        .as_bytes();
+    if body.is_empty() {
+        return Some(Request::Batch(Vec::new()));
+    }
+    let mut items = Vec::new();
+    let mut i = 0;
+    loop {
+        if items.len() >= MAX_BATCH {
+            return None; // oversized: generic path rejects it properly
+        }
+        if body.get(i) != Some(&b'[') {
+            return None;
+        }
+        let (code, next) = scan_u64(body, i + 1)?;
+        if body.get(next) != Some(&b',') {
+            return None;
+        }
+        let (key, next) = scan_u64(body, next + 1)?;
+        let (len, next) = match body.get(next) {
+            Some(&b']') => (0u32, next + 1),
+            Some(&b',') => {
+                let (len, next) = scan_u64(body, next + 1)?;
+                if body.get(next) != Some(&b']') {
+                    return None;
+                }
+                (u32::try_from(len).ok()?, next + 1)
+            }
+            _ => return None,
+        };
+        items.push(op_from_parts(code, key, len));
+        match body.get(next) {
+            None if next == body.len() => return Some(Request::Batch(items)),
+            Some(&b',') => i = next + 1,
+            _ => return None,
+        }
+    }
+}
+
+/// Decodes one compact batch element.
+fn decode_op_compact(v: &Json) -> Result<Operation, String> {
+    let parts = v.as_arr().ok_or("batch element must be an array")?;
+    let (code, key, len) = match parts {
+        [code, key] => (code, key, 0u32),
+        [code, key, len] => {
+            let len = len
+                .as_u64()
+                .and_then(|l| u32::try_from(l).ok())
+                .ok_or("batch element len must be a u32")?;
+            (code, key, len)
+        }
+        _ => return Err("batch element must be [code, key] or [code, key, len]".to_string()),
+    };
+    let key = Key(key.as_u64().ok_or("batch element key must be a u64")?);
+    match code.as_u64() {
+        Some(CODE_READ) => Ok(Operation::read(key)),
+        Some(CODE_INSERT) => Ok(Operation::insert(key, len)),
+        Some(CODE_UPDATE) => Ok(Operation::update(key, len)),
+        Some(CODE_DELETE) => Ok(Operation::delete(key)),
+        Some(CODE_SCAN) if len > 0 => Ok(Operation::scan(key, len)),
+        Some(CODE_SCAN) => Err("scan needs len >= 1".to_string()),
+        _ => Err("unknown op code".to_string()),
+    }
+}
+
+/// Decodes one operation from its `kind`/`key`[/`len`] members.
+fn decode_op(v: &Json) -> Result<Operation, String> {
+    let key = Key(require_u64(v, "key")?);
+    let len = match v.get("len") {
+        None => 0,
+        Some(l) => u32::try_from(
+            l.as_u64()
+                .ok_or("field len must be a non-negative integer")?,
+        )
+        .map_err(|_| "field len too large".to_string())?,
+    };
+    match require_str(v, "kind")? {
+        "read" => Ok(Operation::read(key)),
+        "insert" => Ok(Operation::insert(key, len)),
+        "update" => Ok(Operation::update(key, len)),
+        "delete" => Ok(Operation::delete(key)),
+        "scan" if len > 0 => Ok(Operation::scan(key, len)),
+        "scan" => Err("scan needs len >= 1".to_string()),
+        other => Err(format!("unknown op kind: {other}")),
+    }
+}
+
 impl Request {
     /// Encodes the request as a JSON value.
     pub fn to_json(&self) -> Json {
         match self {
             Request::Op(op) => {
-                let kind = match op.kind {
-                    OpKind::Read => "read",
-                    OpKind::Insert => "insert",
-                    OpKind::Update => "update",
-                    OpKind::Delete => "delete",
-                    OpKind::Scan => "scan",
-                };
-                let mut pairs = vec![
-                    ("type", Json::str("op")),
-                    ("kind", Json::str(kind)),
-                    ("key", num(op.key.0)),
-                ];
-                if op.payload_len > 0 {
-                    pairs.push(("len", num(op.payload_len as u64)));
-                }
+                let mut pairs = vec![("type", Json::str("op"))];
+                pairs.extend(op_pairs(op));
                 Json::obj(pairs)
             }
+            Request::Batch(items) => Json::obj(vec![
+                ("type", Json::str("batch")),
+                (
+                    "ops",
+                    Json::Arr(
+                        items
+                            .iter()
+                            .map(|item| match item {
+                                Ok(op) => op_compact(op),
+                                // An undecodable element has no faithful
+                                // encoding; `null` round-trips back to an
+                                // error entry.
+                                Err(_) => Json::Null,
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
             Request::Stats => Json::obj(vec![("type", Json::str("stats"))]),
             Request::Config => Json::obj(vec![("type", Json::str("config"))]),
             Request::Shutdown => Json::obj(vec![("type", Json::str("shutdown"))]),
@@ -221,28 +471,23 @@ impl Request {
     ///
     /// # Errors
     ///
-    /// Returns a message describing the malformed field.
+    /// Returns a message describing the malformed field. Malformed
+    /// *elements* of a `batch` frame do not error here — they decode to
+    /// `Err` entries answered per-op by the server.
     pub fn from_json(v: &Json) -> Result<Request, String> {
         match require_str(v, "type")? {
-            "op" => {
-                let key = Key(require_u64(v, "key")?);
-                let len = match v.get("len") {
-                    None => 0,
-                    Some(l) => u32::try_from(
-                        l.as_u64().ok_or("field len must be a non-negative integer")?,
-                    )
-                    .map_err(|_| "field len too large".to_string())?,
-                };
-                let op = match require_str(v, "kind")? {
-                    "read" => Operation::read(key),
-                    "insert" => Operation::insert(key, len),
-                    "update" => Operation::update(key, len),
-                    "delete" => Operation::delete(key),
-                    "scan" if len > 0 => Operation::scan(key, len),
-                    "scan" => return Err("scan needs len >= 1".to_string()),
-                    other => return Err(format!("unknown op kind: {other}")),
-                };
-                Ok(Request::Op(op))
+            "op" => Ok(Request::Op(decode_op(v)?)),
+            "batch" => {
+                let ops = require(v, "ops")?
+                    .as_arr()
+                    .ok_or("field ops must be an array")?;
+                if ops.len() > MAX_BATCH {
+                    return Err(format!(
+                        "batch of {} exceeds the {MAX_BATCH}-op limit",
+                        ops.len()
+                    ));
+                }
+                Ok(Request::Batch(ops.iter().map(decode_op_compact).collect()))
             }
             "stats" => Ok(Request::Stats),
             "config" => Ok(Request::Config),
@@ -292,6 +537,25 @@ impl Response {
                 ("type", Json::str("done")),
                 ("latency_us", num(*latency_us)),
             ]),
+            Response::Batch(results) => Json::obj(vec![
+                ("type", Json::str("batch")),
+                (
+                    "results",
+                    Json::Arr(
+                        results
+                            .iter()
+                            .map(|r| match r {
+                                // Compact form: a completed op is its
+                                // latency, bare.
+                                BatchResult::Done { latency_us } => num(*latency_us),
+                                BatchResult::Error { message } => {
+                                    Json::obj(vec![("error", Json::str(message))])
+                                }
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
             Response::Stats(s) => {
                 let latency = Json::obj(vec![
                     ("count", num(s.latency.count)),
@@ -331,10 +595,7 @@ impl Response {
                                 Json::obj(vec![
                                     ("window", num(e.window)),
                                     ("read_ratio", Json::Num(e.read_ratio)),
-                                    (
-                                        "predicted_throughput",
-                                        Json::Num(e.predicted_throughput),
-                                    ),
+                                    ("predicted_throughput", Json::Num(e.predicted_throughput)),
                                     ("to", e.to.to_json()),
                                 ])
                             })
@@ -360,6 +621,28 @@ impl Response {
             "done" => Ok(Response::Done {
                 latency_us: require_u64(v, "latency_us")?,
             }),
+            "batch" => {
+                let results = require(v, "results")?
+                    .as_arr()
+                    .ok_or("field results must be an array")?
+                    .iter()
+                    .map(|r| {
+                        if let Some(latency_us) = r.as_u64() {
+                            Ok(BatchResult::Done { latency_us })
+                        } else if let Some(msg) = r.get("error") {
+                            Ok(BatchResult::Error {
+                                message: msg
+                                    .as_str()
+                                    .ok_or("field error must be a string")?
+                                    .to_string(),
+                            })
+                        } else {
+                            Err("batch result must be a latency or an error".to_string())
+                        }
+                    })
+                    .collect::<Result<Vec<_>, String>>()?;
+                Ok(Response::Batch(results))
+            }
             "stats" => {
                 let latency = require(v, "latency")?;
                 let window = require(v, "last_window")?;
@@ -368,9 +651,7 @@ impl Response {
                     read_ratio: require_f64(v, "read_ratio")?,
                     krd_mean: match require(v, "krd_mean")? {
                         Json::Null => None,
-                        other => Some(
-                            other.as_f64().ok_or("field krd_mean must be a number")?,
-                        ),
+                        other => Some(other.as_f64().ok_or("field krd_mean must be a number")?),
                     },
                     windows_closed: require_u64(v, "windows_closed")?,
                     reoptimizations: require_u64(v, "reoptimizations")?,
@@ -441,8 +722,119 @@ mod tests {
     }
 
     #[test]
+    fn batch_requests_round_trip() {
+        let frames = [
+            Request::batch(vec![
+                Operation::read(Key(42)),
+                Operation::insert(Key(7), 800),
+                Operation::update(Key(9), 256),
+                Operation::delete(Key(1)),
+                Operation::scan(Key(100), 50),
+            ]),
+            Request::batch(Vec::new()), // an empty batch is a valid frame
+            Request::batch(vec![Operation::read(Key(0))]),
+        ];
+        for frame in frames {
+            let line = frame.to_json().encode();
+            let back = Request::from_json(&Json::parse(&line).unwrap()).unwrap();
+            assert_eq!(back, frame, "{line}");
+        }
+    }
+
+    #[test]
+    fn batch_frame_wire_format_is_stable() {
+        let line = Request::batch(vec![
+            Operation::read(Key(3)),
+            Operation::insert(Key(7), 800),
+        ])
+        .to_json()
+        .encode();
+        assert_eq!(line, r#"{"type":"batch","ops":[[0,3],[1,7,800]]}"#);
+        assert_eq!(
+            Request::batch(Vec::new()).to_json().encode(),
+            r#"{"type":"batch","ops":[]}"#
+        );
+    }
+
+    #[test]
+    fn oversized_batch_is_rejected_whole() {
+        let ok = Request::batch(vec![Operation::read(Key(1)); MAX_BATCH])
+            .to_json()
+            .encode();
+        assert!(Request::from_json(&Json::parse(&ok).unwrap()).is_ok());
+
+        let too_big = Request::batch(vec![Operation::read(Key(1)); MAX_BATCH + 1])
+            .to_json()
+            .encode();
+        let err = Request::from_json(&Json::parse(&too_big).unwrap()).unwrap_err();
+        assert!(err.contains("exceeds"), "{err}");
+    }
+
+    #[test]
+    fn malformed_batch_element_decodes_to_a_per_op_error() {
+        let line = r#"{"type":"batch","ops":[
+            [0,1],
+            [9,2],
+            7,
+            [4,3],
+            [0]
+        ]}"#;
+        let Request::Batch(items) = Request::from_json(&Json::parse(line).unwrap()).unwrap() else {
+            panic!("expected a batch");
+        };
+        assert_eq!(items.len(), 5);
+        assert_eq!(items[0], Ok(Operation::read(Key(1))));
+        assert!(items[1].as_ref().unwrap_err().contains("unknown op code"));
+        assert!(items[2].as_ref().unwrap_err().contains("must be an array"));
+        assert!(items[3].as_ref().unwrap_err().contains("scan needs len"));
+        assert!(items[4].as_ref().unwrap_err().contains("[code, key]"));
+    }
+
+    #[test]
+    fn missing_or_invalid_ops_member_rejects_the_frame() {
+        for bad in [
+            r#"{"type":"batch"}"#,
+            r#"{"type":"batch","ops":7}"#,
+            r#"{"type":"batch","ops":{"kind":"read","key":1}}"#,
+        ] {
+            let v = Json::parse(bad).unwrap();
+            assert!(Request::from_json(&v).is_err(), "{bad} must be rejected");
+        }
+    }
+
+    #[test]
+    fn batch_responses_round_trip() {
+        let frames = [
+            Response::Batch(vec![
+                BatchResult::Done { latency_us: 731 },
+                BatchResult::Error {
+                    message: "unknown op kind: warp".to_string(),
+                },
+                BatchResult::Done { latency_us: 0 },
+            ]),
+            Response::Batch(Vec::new()),
+        ];
+        for frame in frames {
+            let line = frame.to_json().encode();
+            let back = Response::from_json(&Json::parse(&line).unwrap()).unwrap();
+            assert_eq!(back, frame, "{line}");
+        }
+        let wire = Response::Batch(vec![
+            BatchResult::Done { latency_us: 12 },
+            BatchResult::Error {
+                message: "nope".to_string(),
+            },
+        ])
+        .to_json()
+        .encode();
+        assert_eq!(wire, r#"{"type":"batch","results":[12,{"error":"nope"}]}"#);
+    }
+
+    #[test]
     fn op_frame_wire_format_is_stable() {
-        let line = Request::Op(Operation::insert(Key(7), 800)).to_json().encode();
+        let line = Request::Op(Operation::insert(Key(7), 800))
+            .to_json()
+            .encode();
         assert_eq!(line, r#"{"type":"op","kind":"insert","key":7,"len":800}"#);
         let read = Request::Op(Operation::read(Key(3))).to_json().encode();
         assert_eq!(read, r#"{"type":"op","kind":"read","key":3}"#);
@@ -510,6 +902,75 @@ mod tests {
             let v = Json::parse(bad).unwrap();
             assert!(Request::from_json(&v).is_err(), "{bad} must be rejected");
         }
+    }
+
+    #[test]
+    fn fast_batch_encode_matches_generic_encoder() {
+        let ops = vec![
+            Operation::read(Key(3)),
+            Operation::insert(Key(7), 800),
+            // Largest key the generic `f64`-backed encoder keeps exact.
+            Operation::update(Key((1 << 53) - 1), 1),
+            Operation::delete(Key(0)),
+            Operation::scan(Key(12), 50),
+        ];
+        let generic = Request::batch(ops.iter().copied()).to_json().encode();
+        let mut fast = String::new();
+        encode_batch_into(&ops, &mut fast);
+        assert_eq!(fast, generic);
+
+        let mut empty = String::new();
+        encode_batch_into(&[], &mut empty);
+        assert_eq!(empty, Request::Batch(Vec::new()).to_json().encode());
+    }
+
+    #[test]
+    fn fast_batch_decode_matches_generic_decoder() {
+        let ops = vec![
+            Operation::read(Key(3)),
+            Operation::insert(Key(7), 800),
+            Operation::scan(Key(12), 50),
+        ];
+        let mut line = String::new();
+        encode_batch_into(&ops, &mut line);
+        let fast = decode_batch_fast(&line).expect("canonical frame decodes fast");
+        let generic = Request::from_json(&Json::parse(&line).unwrap()).unwrap();
+        assert_eq!(fast, generic);
+        assert_eq!(
+            decode_batch_fast(r#"{"type":"batch","ops":[]}"#),
+            Some(Request::Batch(Vec::new()))
+        );
+        // In-band per-op errors survive the fast path too.
+        match decode_batch_fast(r#"{"type":"batch","ops":[[9,1],[4,2,0]]}"#) {
+            Some(Request::Batch(items)) => {
+                assert_eq!(items[0], Err("unknown op code".to_string()));
+                assert_eq!(items[1], Err("scan needs len >= 1".to_string()));
+            }
+            other => panic!("expected batch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_canonical_frames_fall_back_to_the_generic_parser() {
+        for frame in [
+            r#"{"type":"stats"}"#,
+            r#"{"type":"op","kind":"read","key":1}"#,
+            r#"{"type":"batch", "ops":[[0,1]]}"#, // whitespace
+            r#"{"type":"batch","ops":[[0,1]] }"#,
+            r#"{"type":"batch","ops":[[0,1],"x"]}"#,
+            r#"{"type":"batch","ops":[[0,-1]]}"#,
+            r#"{"type":"batch","ops":[[0,1],]}"#,
+            "not json at all",
+        ] {
+            assert_eq!(decode_batch_fast(frame), None, "{frame}");
+        }
+        // Oversized frames defer to the generic path's error message.
+        let many: Vec<Operation> = (0..=MAX_BATCH as u64)
+            .map(|k| Operation::read(Key(k)))
+            .collect();
+        let mut line = String::new();
+        encode_batch_into(&many, &mut line);
+        assert_eq!(decode_batch_fast(&line), None);
     }
 
     #[test]

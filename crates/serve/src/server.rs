@@ -5,15 +5,28 @@
 //! One [`Server`] owns a fitted [`RafikiTuner`] plus the listening
 //! socket. [`Server::run`] builds the live pipeline — engine,
 //! [`OnlineCharacterizer`], [`OnlineController`] — and serves connections
-//! on scoped threads until a `shutdown` frame arrives. Every `op` frame
+//! on scoped threads until a `shutdown` frame arrives. Every operation
 //! is executed to completion on the simulated clock under one lock, so
 //! the engine is always foreground-quiescent when a characterization
 //! window closes and a reconfiguration can be applied in place via
 //! [`Engine::reconfigure`].
+//!
+//! # Locking rule: one mutex acquisition per *frame*
+//!
+//! A `batch` frame takes the engine lock **once** and executes all of
+//! its ops under it, instead of once per op. This is what makes batching
+//! an order-of-magnitude throughput win (the per-op cost collapses to
+//! the simulation itself; lock traffic, JSON framing and socket writes
+//! amortize across the batch). The quiescence contract is unchanged:
+//! ops still run strictly sequentially under the lock, each stepped to
+//! completion, so a window can only close *between* ops — exactly as in
+//! the single-op path — and `Engine::reconfigure` still only runs on a
+//! quiescent engine. [`crate::MAX_BATCH`] bounds how long one frame may
+//! hold the lock.
 
 use crate::protocol::{
-    ConfigReport, ConfigSummary, LatencySummary, ReconfigEvent, Request, Response, StatsReport,
-    WindowActivity,
+    BatchResult, ConfigReport, ConfigSummary, LatencySummary, ReconfigEvent, Request, Response,
+    StatsReport, WindowActivity,
 };
 use crate::wire::Json;
 use rafiki::{ControllerConfig, OnlineController, RafikiTuner};
@@ -109,7 +122,11 @@ impl Server {
     ///
     /// Fails on socket errors, or with [`io::ErrorKind::InvalidInput`]
     /// when the tuner has not been fitted.
-    pub fn bind<A: ToSocketAddrs>(addr: A, tuner: RafikiTuner, cfg: ServeConfig) -> io::Result<Server> {
+    pub fn bind<A: ToSocketAddrs>(
+        addr: A,
+        tuner: RafikiTuner,
+        cfg: ServeConfig,
+    ) -> io::Result<Server> {
         if tuner.surrogate().is_none() {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidInput,
@@ -205,7 +222,9 @@ impl Server {
 /// Locks the shared state, recovering from a poisoned mutex (a panicking
 /// connection thread must not take the daemon down with it).
 fn lock<'a, 't>(shared: &'a Mutex<Shared<'t>>) -> MutexGuard<'a, Shared<'t>> {
-    shared.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    shared
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
 fn serve_connection(
@@ -213,15 +232,35 @@ fn serve_connection(
     shared: &Mutex<Shared<'_>>,
     stop: &AtomicBool,
 ) -> io::Result<()> {
+    let mut local = StreamingHistogram::new();
+    let result = connection_loop(stream, shared, stop, &mut local);
+    // Flush the residual merge batch on *every* exit path. This used to
+    // run only after a clean loop exit, so an I/O error could silently
+    // drop up to MERGE_BATCH - 1 recorded latencies.
+    if local.total() > 0 {
+        lock(shared).histogram.merge(&local);
+    }
+    result
+}
+
+fn connection_loop(
+    stream: TcpStream,
+    shared: &Mutex<Shared<'_>>,
+    stop: &AtomicBool,
+    local: &mut StreamingHistogram,
+) -> io::Result<()> {
     stream.set_nodelay(true).ok();
     stream.set_read_timeout(Some(POLL_INTERVAL))?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = stream;
-    let mut local = StreamingHistogram::new();
     let mut pending = 0u64;
+    // Scratch buffers reused across frames: `line` for the inbound frame,
+    // `out` for the encoded response (a batch response serializes into it
+    // and hits the socket as one write, newline included).
     let mut line = String::new();
+    let mut out = String::new();
 
-    'conn: loop {
+    loop {
         line.clear();
         // Accumulate one full line; a read timeout mid-frame keeps the
         // partial line and re-polls so no bytes are lost.
@@ -235,7 +274,7 @@ fn serve_connection(
                     ) =>
                 {
                     if stop.load(Ordering::SeqCst) {
-                        break 'conn;
+                        return Ok(());
                     }
                 }
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
@@ -243,26 +282,24 @@ fn serve_connection(
             }
         };
         if appended == 0 && line.is_empty() {
-            break; // clean EOF
+            return Ok(()); // clean EOF
         }
         if line.trim().is_empty() {
             if appended == 0 {
-                break;
+                return Ok(());
             }
             continue;
         }
-        let response = respond(&line, shared, stop, &mut local, &mut pending);
+        let response = respond(&line, shared, stop, local, &mut pending);
         let bye = response == Response::Bye;
-        writer.write_all(response.to_json().encode().as_bytes())?;
-        writer.write_all(b"\n")?;
+        out.clear();
+        response.to_json().encode_into(&mut out);
+        out.push('\n');
+        writer.write_all(out.as_bytes())?;
         if bye || appended == 0 {
-            break;
+            return Ok(());
         }
     }
-    if local.total() > 0 {
-        lock(shared).histogram.merge(&local);
-    }
-    Ok(())
 }
 
 fn respond(
@@ -272,17 +309,26 @@ fn respond(
     local: &mut StreamingHistogram,
     pending: &mut u64,
 ) -> Response {
-    let parsed = match Json::parse(line.trim()) {
-        Ok(v) => v,
-        Err(e) => {
-            return Response::Error {
-                message: format!("malformed json: {e}"),
+    // Canonical batch frames (the hot path for batched load) decode
+    // without building a `Json` tree; anything else — including
+    // malformed or oversized batches — goes through the generic parser,
+    // which produces the precise error messages.
+    let request = match crate::protocol::decode_batch_fast(line.trim()) {
+        Some(r) => r,
+        None => {
+            let parsed = match Json::parse(line.trim()) {
+                Ok(v) => v,
+                Err(e) => {
+                    return Response::Error {
+                        message: format!("malformed json: {e}"),
+                    }
+                }
+            };
+            match Request::from_json(&parsed) {
+                Ok(r) => r,
+                Err(message) => return Response::Error { message },
             }
         }
-    };
-    let request = match Request::from_json(&parsed) {
-        Ok(r) => r,
-        Err(message) => return Response::Error { message },
     };
     match request {
         Request::Op(op) => {
@@ -295,6 +341,31 @@ fn respond(
                 *pending = 0;
             }
             Response::Done { latency_us }
+        }
+        Request::Batch(items) => {
+            // One lock acquisition for the whole frame (see the module
+            // docs). Ops still execute sequentially to completion, so
+            // windows close and reconfigurations apply between ops with
+            // the engine quiescent, exactly as in the single-op path.
+            let mut s = lock(shared);
+            let results = items
+                .into_iter()
+                .map(|item| match item {
+                    Ok(op) => {
+                        let latency_us = execute_op(&mut s, op);
+                        local.record(latency_us);
+                        *pending += 1;
+                        BatchResult::Done { latency_us }
+                    }
+                    Err(message) => BatchResult::Error { message },
+                })
+                .collect();
+            if *pending >= MERGE_BATCH {
+                s.histogram.merge(local);
+                *local = StreamingHistogram::new();
+                *pending = 0;
+            }
+            Response::Batch(results)
         }
         Request::Stats => {
             let mut s = lock(shared);

@@ -75,9 +75,7 @@ impl Json {
     /// The value as a non-negative integer (must be whole and in range).
     pub fn as_u64(&self) -> Option<u64> {
         match self {
-            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 2f64.powi(53) => {
-                Some(*n as u64)
-            }
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 2f64.powi(53) => Some(*n as u64),
             _ => None,
         }
     }
@@ -107,13 +105,20 @@ impl Json {
     }
 
     /// Encodes the value as compact single-line JSON.
+    ///
+    /// Allocates a fresh `String`; hot paths (the daemon's per-connection
+    /// writer, the client's frame loop) should reuse a scratch buffer via
+    /// [`Json::encode_into`] instead.
     pub fn encode(&self) -> String {
         let mut out = String::new();
         self.encode_into(&mut out);
         out
     }
 
-    fn encode_into(&self, out: &mut String) {
+    /// Appends the compact encoding to `out` without allocating a new
+    /// buffer — `out.clear()` + `encode_into` + one `write_all` is the
+    /// allocation-free frame path.
+    pub fn encode_into(&self, out: &mut String) {
         match self {
             Json::Null => out.push_str("null"),
             Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
@@ -405,7 +410,10 @@ mod tests {
             ("big", Json::Num(9_007_199_254_740_992.0)),
             (
                 "inner",
-                Json::obj(vec![("s", Json::str("a\"b\\c\nd\tta")), ("empty", Json::Arr(vec![]))]),
+                Json::obj(vec![
+                    ("s", Json::str("a\"b\\c\nd\tta")),
+                    ("empty", Json::Arr(vec![])),
+                ]),
             ),
         ]);
         assert_eq!(Json::parse(&v.encode()).unwrap(), v);

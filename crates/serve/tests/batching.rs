@@ -1,0 +1,186 @@
+//! Loopback tests for the batched wire path: a batched run must be
+//! indistinguishable from an unbatched one at the engine level, and
+//! no client-side latency sample may be lost to the per-connection
+//! merge batching when a connection closes.
+
+use rafiki::{CollectionPlan, ControllerConfig, EvalContext, RafikiTuner, TunerConfig};
+use rafiki_serve::{Client, ServeConfig, Server, StatsReport};
+use rafiki_workload::{
+    BenchmarkSpec, Operation, OperationSource, ReplaySource, WorkloadGenerator, WorkloadSpec,
+};
+use std::time::{Duration, Instant};
+
+const WINDOW_OPS: usize = 300;
+
+/// A deliberately tiny fitted tuner: these tests exercise the wire
+/// path, not the tuning quality, so the fit just needs to succeed fast.
+fn tiny_tuner() -> RafikiTuner {
+    let preload_keys = 5_000;
+    let ctx = EvalContext {
+        bench: BenchmarkSpec {
+            duration_secs: 0.5,
+            warmup_secs: 0.1,
+            clients: 8,
+            sample_window_secs: 0.25,
+        },
+        workload: WorkloadSpec {
+            initial_keys: preload_keys,
+            ..WorkloadSpec::with_read_ratio(0.5)
+        },
+        preload_keys,
+        preload_payload: 200,
+        ..EvalContext::small()
+    };
+    let cfg = TunerConfig {
+        collection: CollectionPlan {
+            configurations: 3,
+            read_ratios: vec![0.0, 0.5, 1.0],
+            ..CollectionPlan::default()
+        },
+        ..TunerConfig::fast()
+    };
+    let mut tuner = RafikiTuner::new(ctx, cfg);
+    tuner.fit().expect("tiny tuner fit");
+    tuner
+}
+
+fn serve_config() -> ServeConfig {
+    ServeConfig {
+        window_ops: WINDOW_OPS,
+        krd_capacity: 1 << 14,
+        controller: ControllerConfig {
+            min_predicted_gain: 0.0,
+            ..ControllerConfig::default()
+        },
+        preload_keys: 5_000,
+        preload_payload: 200,
+    }
+}
+
+/// Runs `ops` against a fresh daemon with the given frame size and
+/// returns the final aggregate stats plus the client-side histogram
+/// count.
+fn run_stream(tuner: RafikiTuner, ops: &[Operation], batch: usize) -> (StatsReport, u64) {
+    let server = Server::bind("127.0.0.1:0", tuner, serve_config()).expect("bind");
+    let addr = server.local_addr().expect("local addr");
+    std::thread::scope(|scope| {
+        let handle = scope.spawn(|| server.run().expect("server run"));
+        let mut client = Client::connect(addr).expect("connect");
+        let mut source = ReplaySource::new(ops.to_vec());
+        let histogram = client
+            .drive_batched(&mut source, ops.len(), batch)
+            .expect("drive");
+        let stats = client.stats().expect("stats");
+        client.shutdown().expect("shutdown");
+        handle.join().expect("server thread");
+        (stats, histogram.total())
+    })
+}
+
+/// The tentpole invariant: batching is a transport optimization only.
+/// The same operation stream, framed 1-per-request or 256-per-request,
+/// must leave the engine, the characterizer, the controller, and the
+/// latency digest in byte-identical states.
+#[test]
+fn batched_and_unbatched_runs_produce_identical_engine_metrics() {
+    let spec = |rr: f64| WorkloadSpec {
+        initial_keys: 5_000,
+        ..WorkloadSpec::with_read_ratio(rr)
+    };
+    let mut ops: Vec<Operation> = Vec::new();
+    let mut read_heavy = WorkloadGenerator::new(spec(0.9), 21);
+    ops.extend((0..2 * WINDOW_OPS).map(|_| read_heavy.next_op()));
+    let mut write_heavy = WorkloadGenerator::new(spec(0.1), 23);
+    ops.extend((0..2 * WINDOW_OPS).map(|_| write_heavy.next_op()));
+
+    let (unbatched, unbatched_count) = run_stream(tiny_tuner(), &ops, 1);
+    let (batched, batched_count) = run_stream(tiny_tuner(), &ops, 256);
+
+    assert_eq!(unbatched_count, ops.len() as u64);
+    assert_eq!(batched_count, ops.len() as u64);
+    assert_eq!(
+        unbatched, batched,
+        "batched and unbatched runs disagree on engine metrics"
+    );
+    // The run did something nontrivial: windows closed and the stream
+    // shift was observed.
+    assert_eq!(batched.operations, ops.len() as u64);
+    assert_eq!(batched.windows_closed, 4);
+    assert!(batched.reoptimizations >= 1);
+}
+
+/// Regression test for the merge-batch loss bug: per-client latency
+/// samples are merged into the shared histogram in batches of 128, and
+/// the residual (up to 127 samples) used to be dropped when a
+/// connection closed without a final `stats` call.
+#[test]
+fn residual_latency_samples_survive_disconnect() {
+    const RESIDUAL_OPS: usize = 5;
+    let server = Server::bind("127.0.0.1:0", tiny_tuner(), serve_config()).expect("bind");
+    let addr = server.local_addr().expect("local addr");
+    std::thread::scope(|scope| {
+        let handle = scope.spawn(|| server.run().expect("server run"));
+
+        {
+            let mut client = Client::connect(addr).expect("connect");
+            let mut gen = WorkloadGenerator::new(
+                WorkloadSpec {
+                    initial_keys: 5_000,
+                    ..WorkloadSpec::with_read_ratio(0.5)
+                },
+                31,
+            );
+            for _ in 0..RESIDUAL_OPS {
+                client.op(gen.next_op()).expect("op");
+            }
+            // Dropped here with 5 samples still in the connection's
+            // local merge batch.
+        }
+
+        // The flush happens when the daemon notices the disconnect, so
+        // poll the aggregate histogram from a second connection.
+        let mut observer = Client::connect(addr).expect("observer connect");
+        let deadline = Instant::now() + Duration::from_secs(30);
+        let count = loop {
+            let count = observer.stats().expect("stats").latency.count;
+            if count == RESIDUAL_OPS as u64 || Instant::now() > deadline {
+                break count;
+            }
+            std::thread::sleep(Duration::from_millis(25));
+        };
+        assert_eq!(
+            count, RESIDUAL_OPS as u64,
+            "latency samples below the merge-batch size were lost at disconnect"
+        );
+
+        observer.shutdown().expect("shutdown");
+        handle.join().expect("server thread");
+    });
+}
+
+/// A connection's own `stats` call folds its not-yet-merged samples in
+/// immediately — no second connection or disconnect required.
+#[test]
+fn stats_request_flushes_the_callers_merge_batch() {
+    const OPS: usize = 3;
+    let server = Server::bind("127.0.0.1:0", tiny_tuner(), serve_config()).expect("bind");
+    let addr = server.local_addr().expect("local addr");
+    std::thread::scope(|scope| {
+        let handle = scope.spawn(|| server.run().expect("server run"));
+        let mut client = Client::connect(addr).expect("connect");
+        let mut gen = WorkloadGenerator::new(
+            WorkloadSpec {
+                initial_keys: 5_000,
+                ..WorkloadSpec::with_read_ratio(0.5)
+            },
+            37,
+        );
+        for _ in 0..OPS {
+            client.op(gen.next_op()).expect("op");
+        }
+        let stats = client.stats().expect("stats");
+        assert_eq!(stats.latency.count, OPS as u64);
+        client.shutdown().expect("shutdown");
+        handle.join().expect("server thread");
+    });
+}

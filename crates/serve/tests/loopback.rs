@@ -5,7 +5,9 @@
 use rafiki::{ControllerConfig, EvalContext, RafikiTuner, TunerConfig};
 use rafiki_engine::EngineConfig;
 use rafiki_serve::{Client, ConfigSummary, ServeConfig, Server};
-use rafiki_workload::{characterize, Operation, ReplaySource, WorkloadGenerator, WorkloadSpec};
+use rafiki_workload::{
+    characterize, Operation, OperationSource, ReplaySource, WorkloadGenerator, WorkloadSpec,
+};
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::sync::mpsc;
@@ -67,7 +69,10 @@ fn scenario() {
         let mut client = Client::connect(addr).expect("connect");
 
         let initial = client.config().expect("initial config");
-        assert_eq!(initial.active, ConfigSummary::from(&EngineConfig::default()));
+        assert_eq!(
+            initial.active,
+            ConfigSummary::from(&EngineConfig::default())
+        );
         assert!(initial.events.is_empty(), "no reconfigurations yet");
 
         let mut source = ReplaySource::new(ops.clone());
@@ -133,7 +138,9 @@ fn scenario() {
         let mut raw_reader = BufReader::new(raw.try_clone().expect("clone"));
         let mut raw_writer = raw;
         let mut line = String::new();
-        raw_writer.write_all(b"not json at all\n").expect("send garbage");
+        raw_writer
+            .write_all(b"not json at all\n")
+            .expect("send garbage");
         raw_reader.read_line(&mut line).expect("error frame");
         assert!(line.contains("\"error\""), "got: {line}");
         line.clear();

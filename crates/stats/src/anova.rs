@@ -84,7 +84,11 @@ impl OneWayAnova {
         } else {
             0.0
         };
-        let eta_squared = if ssb + ssw == 0.0 { 0.0 } else { ssb / (ssb + ssw) };
+        let eta_squared = if ssb + ssw == 0.0 {
+            0.0
+        } else {
+            ssb / (ssb + ssw)
+        };
         Ok(OneWayAnova {
             ss_between: ssb,
             ss_within: ssw,
@@ -192,10 +196,7 @@ mod tests {
 
     #[test]
     fn anova_flat_groups_give_small_f() {
-        let groups = vec![
-            vec![10.0, 11.0, 9.0, 10.5],
-            vec![10.2, 10.8, 9.4, 10.1],
-        ];
+        let groups = vec![vec![10.0, 11.0, 9.0, 10.5], vec![10.2, 10.8, 9.4, 10.1]];
         let a = OneWayAnova::from_groups(&groups).unwrap();
         assert!(a.f_statistic < 2.0);
         assert!(a.p_value > 0.1);
@@ -204,11 +205,19 @@ mod tests {
     #[test]
     fn anova_reference_value() {
         // Classic textbook example; F should match a hand computation.
-        let groups = vec![vec![6.0, 8.0, 4.0, 5.0, 3.0, 4.0], vec![8.0, 12.0, 9.0, 11.0, 6.0, 8.0], vec![13.0, 9.0, 11.0, 8.0, 7.0, 12.0]];
+        let groups = vec![
+            vec![6.0, 8.0, 4.0, 5.0, 3.0, 4.0],
+            vec![8.0, 12.0, 9.0, 11.0, 6.0, 8.0],
+            vec![13.0, 9.0, 11.0, 8.0, 7.0, 12.0],
+        ];
         let a = OneWayAnova::from_groups(&groups).unwrap();
         assert_eq!(a.df_between, 2);
         assert_eq!(a.df_within, 15);
-        assert!((a.f_statistic - 9.264).abs() < 0.05, "F = {}", a.f_statistic);
+        assert!(
+            (a.f_statistic - 9.264).abs() < 0.05,
+            "F = {}",
+            a.f_statistic
+        );
         assert!(a.p_value < 0.01);
     }
 

@@ -57,7 +57,10 @@ pub fn population_variance(xs: &[f64]) -> f64 {
 /// Panics if `xs` is empty or `p` is outside `[0, 100]`.
 pub fn percentile(xs: &[f64], p: f64) -> f64 {
     assert!(!xs.is_empty(), "percentile of empty slice");
-    assert!((0.0..=100.0).contains(&p), "percentile requires p in [0,100]");
+    assert!(
+        (0.0..=100.0).contains(&p),
+        "percentile requires p in [0,100]"
+    );
     let mut sorted: Vec<f64> = xs.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
     let rank = p / 100.0 * (sorted.len() - 1) as f64;

@@ -90,7 +90,9 @@ impl Exponential {
         }
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
         if mean <= 0.0 {
-            return Err(StatsError::Domain { what: "sample mean" });
+            return Err(StatsError::Domain {
+                what: "sample mean",
+            });
         }
         Self::new(1.0 / mean)
     }
@@ -111,7 +113,10 @@ impl Exponential {
 
     /// Inverse CDF (quantile function) for `p ∈ [0, 1)`.
     pub fn quantile(&self, p: f64) -> f64 {
-        assert!((0.0..1.0).contains(&p), "quantile requires p in [0,1), got {p}");
+        assert!(
+            (0.0..1.0).contains(&p),
+            "quantile requires p in [0,1), got {p}"
+        );
         -(1.0 - p).ln() / self.lambda
     }
 

@@ -396,7 +396,9 @@ mod tests {
         // Counts, totals, extremes and every interesting quantile of
         // merge(first half, second half) must equal the histogram of the
         // whole stream.
-        let values: Vec<u64> = (0..9_999u64).map(|i| (i * 2_654_435_761) % 5_000_000).collect();
+        let values: Vec<u64> = (0..9_999u64)
+            .map(|i| (i * 2_654_435_761) % 5_000_000)
+            .collect();
         let mut whole = StreamingHistogram::new();
         let mut first = StreamingHistogram::new();
         let mut second = StreamingHistogram::new();

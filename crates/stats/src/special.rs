@@ -17,10 +17,10 @@ pub fn ln_gamma(x: f64) -> f64 {
     assert!(x > 0.0, "ln_gamma requires x > 0, got {x}");
     const G: f64 = 7.0;
     const COEF: [f64; 9] = [
-        0.999_999_999_999_809_93,
+        0.999_999_999_999_809_9,
         676.520_368_121_885_1,
         -1_259.139_216_722_402_8,
-        771.323_428_777_653_13,
+        771.323_428_777_653_1,
         -176.615_029_162_140_6,
         12.507_343_278_686_905,
         -0.138_571_095_265_720_12,
@@ -49,8 +49,14 @@ pub fn ln_gamma(x: f64) -> f64 {
 ///
 /// Panics if `x` is outside `[0, 1]` or `a`/`b` are not positive.
 pub fn betai(a: f64, b: f64, x: f64) -> f64 {
-    assert!((0.0..=1.0).contains(&x), "betai requires x in [0,1], got {x}");
-    assert!(a > 0.0 && b > 0.0, "betai requires a,b > 0, got a={a}, b={b}");
+    assert!(
+        (0.0..=1.0).contains(&x),
+        "betai requires x in [0,1], got {x}"
+    );
+    assert!(
+        a > 0.0 && b > 0.0,
+        "betai requires a,b > 0, got a={a}, b={b}"
+    );
     if x == 0.0 {
         return 0.0;
     }
@@ -130,8 +136,7 @@ pub fn erf(x: f64) -> f64 {
     let x = x.abs();
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let y = 1.0
-        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736)
-            * t
+        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736) * t
             + 0.254_829_592)
             * t
             * (-x * x).exp();

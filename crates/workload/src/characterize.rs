@@ -42,7 +42,7 @@ pub fn windowed_read_ratio(ops: &[Operation], window_ops: usize) -> Vec<f64> {
     let mut at = 0;
     while at < ops.len() {
         let end = (at + window_ops).min(ops.len());
-        if end - at >= window_ops / 2 + 1 {
+        if end - at > window_ops / 2 {
             out.push(read_ratio(&ops[at..end]));
         }
         at = end;

@@ -89,7 +89,10 @@ impl WorkloadSpec {
             initial_keys: 200_000,
             update_fraction: 0.5,
             reuse_probability: 0.5,
-            payload: PayloadSpec::Uniform { min: 256, max: 2048 },
+            payload: PayloadSpec::Uniform {
+                min: 256,
+                max: 2048,
+            },
         }
     }
 
@@ -192,9 +195,7 @@ impl WorkloadGenerator {
     }
 
     fn schedule_reuse(&mut self, key: Key) {
-        if self.scheduled_len >= SCHEDULE_CAP
-            || !self.rng.gen_bool(self.spec.reuse_probability)
-        {
+        if self.scheduled_len >= SCHEDULE_CAP || !self.rng.gen_bool(self.spec.reuse_probability) {
             return;
         }
         let d = self

@@ -43,10 +43,10 @@ pub mod trace;
 pub mod ycsb;
 
 pub use characterize::Characterization;
-pub use online::{OnlineCharacterizer, WindowSummary};
-pub use forecast::RegimeMarkovForecaster;
-pub use ycsb::YcsbPreset;
 pub use driver::{BenchmarkResult, BenchmarkSpec, ThroughputSample};
+pub use forecast::RegimeMarkovForecaster;
 pub use generator::{PayloadSpec, WorkloadGenerator, WorkloadSpec};
+pub use online::{OnlineCharacterizer, WindowSummary};
 pub use op::{Key, OpKind, Operation, OperationSource, ReplaySource};
 pub use trace::{MgRastModel, Regime, TraceWindow, WorkloadTrace};
+pub use ycsb::YcsbPreset;

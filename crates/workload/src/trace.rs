@@ -85,11 +85,13 @@ impl WorkloadTrace {
             if let Some(meta) = line.strip_prefix('#') {
                 for field in meta.split_whitespace() {
                     if let Some(v) = field.strip_prefix("window_minutes=") {
-                        window_minutes =
-                            v.parse().map_err(|_| format!("line {}: bad window_minutes", lineno + 1))?;
+                        window_minutes = v
+                            .parse()
+                            .map_err(|_| format!("line {}: bad window_minutes", lineno + 1))?;
                     } else if let Some(v) = field.strip_prefix("krd_mean=") {
-                        krd_mean =
-                            v.parse().map_err(|_| format!("line {}: bad krd_mean", lineno + 1))?;
+                        krd_mean = v
+                            .parse()
+                            .map_err(|_| format!("line {}: bad krd_mean", lineno + 1))?;
                     }
                 }
                 continue;
@@ -106,7 +108,10 @@ impl WorkloadTrace {
                 .parse()
                 .map_err(|_| format!("line {}: bad read ratio", lineno + 1))?;
             if !(0.0..=1.0).contains(&read_ratio) {
-                return Err(format!("line {}: read ratio {read_ratio} out of [0,1]", lineno + 1));
+                return Err(format!(
+                    "line {}: read ratio {read_ratio} out of [0,1]",
+                    lineno + 1
+                ));
             }
             windows.push(TraceWindow { index, read_ratio });
         }
@@ -299,7 +304,11 @@ mod tests {
 
     #[test]
     fn csv_roundtrip_preserves_trace() {
-        let trace = MgRastModel { days: 1, ..MgRastModel::default() }.generate();
+        let trace = MgRastModel {
+            days: 1,
+            ..MgRastModel::default()
+        }
+        .generate();
         let csv = trace.to_csv();
         let parsed = WorkloadTrace::from_csv(&csv).unwrap();
         assert_eq!(parsed.window_minutes, trace.window_minutes);

@@ -31,7 +31,13 @@ pub enum YcsbPreset {
 impl YcsbPreset {
     /// All presets, in YCSB order.
     pub fn all() -> [YcsbPreset; 5] {
-        [YcsbPreset::A, YcsbPreset::B, YcsbPreset::C, YcsbPreset::D, YcsbPreset::F]
+        [
+            YcsbPreset::A,
+            YcsbPreset::B,
+            YcsbPreset::C,
+            YcsbPreset::D,
+            YcsbPreset::F,
+        ]
     }
 
     /// The standard letter name.
@@ -131,7 +137,9 @@ mod tests {
     #[test]
     fn workload_a_updates_never_insert() {
         let mut g = WorkloadGenerator::new(YcsbPreset::A.spec(10_000), 2);
-        let inserts = (0..5_000).filter(|_| g.next_op().kind == OpKind::Insert).count();
+        let inserts = (0..5_000)
+            .filter(|_| g.next_op().kind == OpKind::Insert)
+            .count();
         assert_eq!(inserts, 0, "A/B/C update existing records only");
         assert_eq!(g.keyspace(), 10_000);
     }

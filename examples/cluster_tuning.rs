@@ -61,8 +61,10 @@ fn main() {
         } else {
             EngineConfig::default()
         };
-        for (nodes, clients, label) in [(1usize, 32usize, "single-server"), (2, 64, "two-servers ")] {
-            let default_tput = cluster_throughput(&EngineConfig::default(), nodes, clients, read_ratio);
+        for (nodes, clients, label) in [(1usize, 32usize, "single-server"), (2, 64, "two-servers ")]
+        {
+            let default_tput =
+                cluster_throughput(&EngineConfig::default(), nodes, clients, read_ratio);
             let tuned_tput = cluster_throughput(&tuned, nodes, clients, read_ratio);
             println!(
                 "RR={:<4.0}%     {}   {:>8.0}    {:>8.0}    {:+.1}%",

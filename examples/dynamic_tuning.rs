@@ -68,5 +68,8 @@ fn main() {
             d.predicted_throughput,
         );
     }
-    println!("  … ({} more windows)", report.decisions.len().saturating_sub(24));
+    println!(
+        "  … ({} more windows)",
+        report.decisions.len().saturating_sub(24)
+    );
 }

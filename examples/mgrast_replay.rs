@@ -27,7 +27,9 @@ fn main() {
     );
     let mut counts = std::collections::HashMap::new();
     for &rr in &rrs {
-        *counts.entry(format!("{:?}", Regime::classify(rr))).or_insert(0usize) += 1;
+        *counts
+            .entry(format!("{:?}", Regime::classify(rr)))
+            .or_insert(0usize) += 1;
     }
     println!("regime occupancy: {counts:?}");
 

@@ -44,7 +44,9 @@ fn main() {
     );
 
     // Validate on the actual (simulated) datastore.
-    let default_tput = tuner.context().measure(read_ratio, &EngineConfig::default());
+    let default_tput = tuner
+        .context()
+        .measure(read_ratio, &EngineConfig::default());
     let tuned_tput = tuner.context().measure(read_ratio, &best.config);
     println!(
         "measured: default {:.0} ops/s -> tuned {:.0} ops/s ({:+.1}%)",

@@ -13,7 +13,13 @@ fn rows_from_keys(keys: &[u64], version_base: u64) -> Vec<Row> {
     sorted.dedup();
     sorted
         .into_iter()
-        .map(|k| Row::new(Key(k), arena.payload((k % 512) as u32 + 16, k), version_base + k))
+        .map(|k| {
+            Row::new(
+                Key(k),
+                arena.payload((k % 512) as u32 + 16, k),
+                version_base + k,
+            )
+        })
         .collect()
 }
 

@@ -1,12 +1,8 @@
 //! Cross-crate integration tests: workload generation feeding the engine,
 //! characterization closing the loop, and cluster composition.
 
-use rafiki_engine::{
-    run_benchmark, CompactionMethod, Engine, EngineConfig, ServerSpec,
-};
-use rafiki_workload::{
-    BenchmarkSpec, MgRastModel, WorkloadGenerator, WorkloadSpec,
-};
+use rafiki_engine::{run_benchmark, CompactionMethod, Engine, EngineConfig, ServerSpec};
+use rafiki_workload::{BenchmarkSpec, MgRastModel, WorkloadGenerator, WorkloadSpec};
 
 fn quick_bench() -> BenchmarkSpec {
     BenchmarkSpec {
@@ -89,7 +85,12 @@ fn compaction_runs_under_sustained_writes() {
 fn mgrast_trace_drives_distinct_benchmarks() {
     // Regime changes in the trace translate into measurably different
     // engine behaviour.
-    let trace = MgRastModel { days: 1, seed: 9, ..MgRastModel::default() }.generate();
+    let trace = MgRastModel {
+        days: 1,
+        seed: 9,
+        ..MgRastModel::default()
+    }
+    .generate();
     let read_heavy = trace
         .windows
         .iter()

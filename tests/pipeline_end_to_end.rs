@@ -2,9 +2,7 @@
 //! data collection, surrogate training, GA search, online control —
 //! exercised together on the small evaluation context.
 
-use rafiki::{
-    ControllerConfig, EvalContext, OnlineController, RafikiTuner, TunerConfig,
-};
+use rafiki::{ControllerConfig, EvalContext, OnlineController, RafikiTuner, TunerConfig};
 use rafiki_engine::EngineConfig;
 use rafiki_workload::MgRastModel;
 
@@ -21,14 +19,11 @@ fn surrogate_predictions_track_measurements() {
     // Probe three configurations x two workloads; the surrogate should be
     // within a loose band of the true measurement (the paper reports ~6-8%
     // on held-out data at full scale; the fast profile is coarser).
-    let genomes = [
-        space.default_genome(),
-        {
-            let mut g = space.default_genome();
-            g[0] = 1.0; // leveled
-            g
-        },
-    ];
+    let genomes = [space.default_genome(), {
+        let mut g = space.default_genome();
+        g[0] = 1.0; // leveled
+        g
+    }];
     for rr in [0.25, 0.75] {
         for genome in &genomes {
             let cfg = space.config_from_genome(genome);
@@ -76,7 +71,12 @@ fn read_heavy_optimization_prefers_leveled_compaction() {
 fn controller_follows_the_trace_and_improves_throughput() {
     let tuner = fitted();
     let mut controller = OnlineController::new(&tuner, ControllerConfig::default()).unwrap();
-    let trace = MgRastModel { days: 1, seed: 21, ..MgRastModel::default() }.generate();
+    let trace = MgRastModel {
+        days: 1,
+        seed: 21,
+        ..MgRastModel::default()
+    }
+    .generate();
     let report = controller.run_trace(&trace).unwrap();
     assert_eq!(report.decisions.len(), trace.windows.len());
     assert!(report.switches >= 1, "controller never switched configs");

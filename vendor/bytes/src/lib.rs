@@ -1,0 +1,142 @@
+//! Offline vendored subset of the `bytes` crate: the cheaply-clonable
+//! `Bytes` view the storage engine uses for row payloads. Clones and
+//! `slice` share one reference-counted allocation, preserving the
+//! zero-copy property the engine's memory accounting relies on.
+
+use std::ops::{Bound, Deref, RangeBounds};
+use std::sync::Arc;
+
+/// A cheaply clonable, contiguous, immutable slice of memory.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    offset: usize,
+    len: usize,
+}
+
+impl Bytes {
+    /// An empty `Bytes` (no allocation).
+    pub fn new() -> Bytes {
+        Bytes::default()
+    }
+
+    /// Number of bytes in the view.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns a view of `range` sharing this view's storage.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is out of bounds or decreasing.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let start = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len,
+        };
+        assert!(start <= end && end <= self.len, "slice out of bounds");
+        Bytes {
+            data: Arc::clone(&self.data),
+            offset: self.offset + start,
+            len: end - start,
+        }
+    }
+
+    /// Pointer to the first byte of the view.
+    pub fn as_ptr(&self) -> *const u8 {
+        self.as_slice().as_ptr()
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        &self.data[self.offset..self.offset + self.len]
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        let len = v.len();
+        Bytes {
+            data: v.into(),
+            offset: 0,
+            len,
+        }
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(s: &'static [u8]) -> Bytes {
+        Bytes::from(s.to_vec())
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Bytes({} bytes)", self.len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slices_share_storage_zero_copy() {
+        let b = Bytes::from((0u8..128).collect::<Vec<_>>());
+        let s1 = b.slice(10..20);
+        let s2 = b.slice(10..20);
+        assert_eq!(s1, s2);
+        assert_eq!(s1.as_ptr(), s2.as_ptr());
+        assert_eq!(&s1[..], &(10u8..20).collect::<Vec<_>>()[..]);
+        let nested = s1.slice(2..=4);
+        assert_eq!(&nested[..], &[12, 13, 14]);
+    }
+
+    #[test]
+    fn empty_and_bounds() {
+        assert_eq!(Bytes::new().len(), 0);
+        assert!(Bytes::new().is_empty());
+        let b = Bytes::from(vec![1u8, 2, 3]);
+        assert_eq!(b.slice(..).len(), 3);
+        assert_eq!(b.slice(3..3).len(), 0);
+    }
+}

@@ -1,0 +1,163 @@
+//! Offline vendored subset of the `criterion` benchmarking API.
+//!
+//! Offline builds cannot fetch the real criterion, so this crate keeps
+//! the workspace's benches compiling and runnable with the same call
+//! shape (`criterion_group!`, `criterion_main!`, `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `b.iter`).
+//! Instead of criterion's statistical pipeline it runs a short
+//! fixed-iteration wall-clock measurement and prints mean time per
+//! iteration — enough for `cargo bench --no-run` CI gates and for
+//! eyeballing relative changes locally.
+
+use std::time::Instant;
+
+/// Iterations per measured sample (after one warm-up call).
+const DEFAULT_SAMPLE_SIZE: usize = 10;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+/// A named collection of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+}
+
+/// A parameterized benchmark identifier (`name/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds `name/parameter`.
+    pub fn new<P: std::fmt::Display>(name: &str, parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The per-benchmark timing handle passed to bench closures.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: usize,
+    nanos_per_iter: f64,
+}
+
+impl Bencher {
+    /// Times `routine` over a fixed number of iterations (one warm-up
+    /// call, then `iters` timed calls).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        std::hint::black_box(routine());
+        let t0 = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.nanos_per_iter = t0.elapsed().as_nanos() as f64 / self.iters as f64;
+    }
+}
+
+fn run_one(label: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        iters: sample_size,
+        nanos_per_iter: f64::NAN,
+    };
+    f(&mut b);
+    if b.nanos_per_iter.is_nan() {
+        println!("{label:<48} (no measurement)");
+    } else if b.nanos_per_iter >= 1e6 {
+        println!("{label:<48} {:>12.3} ms/iter", b.nanos_per_iter / 1e6);
+    } else {
+        println!("{label:<48} {:>12.1} ns/iter", b.nanos_per_iter);
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: &str,
+        mut f: F,
+    ) -> &mut Criterion {
+        run_one(name, DEFAULT_SAMPLE_SIZE, &mut f);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: DEFAULT_SAMPLE_SIZE,
+        }
+    }
+}
+
+impl BenchmarkGroup {
+    /// Sets the per-benchmark iteration count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one named benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(&format!("{}/{name}", self.name), self.sample_size, &mut f);
+        self
+    }
+
+    /// Runs one parameterized benchmark within the group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{id}", self.name), self.sample_size, &mut |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Finishes the group (a no-op; criterion prints summaries here).
+    pub fn finish(self) {}
+}
+
+/// Re-export point for the conventional `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a benchmark group function, as in criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

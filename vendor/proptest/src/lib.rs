@@ -1,0 +1,196 @@
+//! Offline vendored subset of the `proptest` API.
+//!
+//! Offline builds cannot fetch the real proptest, so this crate keeps
+//! the workspace's property tests compiling and *running* with the same
+//! call shape: the `proptest!` macro, range/tuple/`prop::collection::vec`
+//! strategies, `.prop_map`, `prop_oneof!`, `prop_assert!` and
+//! `prop_assert_eq!`, and `ProptestConfig::with_cases`.
+//!
+//! Differences from the real thing, deliberately accepted:
+//!
+//! - cases are drawn from a deterministic per-test RNG (seeded from the
+//!   test's module path and name), so runs are reproducible but not
+//!   persisted/replayed through a failure file;
+//! - there is **no shrinking**: a failing case reports the case number
+//!   and the assertion message, not a minimized input;
+//! - strategies are plain samplers (no value trees).
+
+use std::fmt;
+
+pub mod strategy;
+
+/// The `prop` namespace (`prop::collection::vec`).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        pub use crate::strategy::{hash_set, vec, HashSetStrategy, SizeRange, VecStrategy};
+    }
+}
+
+/// Deterministic RNG handed to strategies while sampling cases.
+#[derive(Debug, Clone)]
+pub struct TestRng(rand::rngs::StdRng);
+
+impl TestRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn from_seed(seed: u64) -> TestRng {
+        use rand::SeedableRng;
+        TestRng(rand::rngs::StdRng::seed_from_u64(seed))
+    }
+}
+
+impl rand::RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// FNV-1a hash of a test's identifier — the per-test RNG seed.
+pub fn seed_for(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A failed property-test assertion (returned, not panicked, so the
+/// harness can attach the case number).
+#[derive(Debug, Clone)]
+pub struct TestCaseError(pub String);
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Per-`proptest!` block configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+/// Everything a property test usually imports.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, ProptestConfig,
+        TestCaseError,
+    };
+}
+
+/// Declares property tests over sampled inputs (no-shrinking subset).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let seed = $crate::seed_for(concat!(module_path!(), "::", stringify!($name)));
+            let mut rng = $crate::TestRng::from_seed(seed);
+            for case in 0..config.cases {
+                $(let $arg = $crate::strategy::Strategy::sample(&$strat, &mut rng);)+
+                let outcome: ::core::result::Result<(), $crate::TestCaseError> =
+                    (|| { $body ::core::result::Result::Ok(()) })();
+                if let ::core::result::Result::Err(e) = outcome {
+                    panic!(
+                        "proptest {} failed at case {case}/{}: {e}",
+                        stringify!($name),
+                        config.cases,
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+/// Asserts inside a property test, failing the case (not the process).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (left, right) = (&$a, &$b);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: {left:?} != {right:?} ({} != {})",
+            stringify!($a),
+            stringify!($b),
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$a, &$b);
+        $crate::prop_assert!(left == right, $($fmt)+);
+    }};
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (left, right) = (&$a, &$b);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: {left:?} == {right:?} ({} == {})",
+            stringify!($a),
+            stringify!($b),
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$a, &$b);
+        $crate::prop_assert!(left != right, $($fmt)+);
+    }};
+}
+
+/// Picks uniformly among the given strategies (unweighted subset).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}

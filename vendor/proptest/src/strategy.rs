@@ -1,0 +1,306 @@
+//! Sampling strategies: the `Strategy` trait plus the combinators the
+//! workspace uses (ranges, tuples, `prop_map`, `vec`, `Union`, `Just`).
+
+use crate::TestRng;
+use rand::Rng;
+
+/// A source of random test-case values.
+///
+/// Unlike real proptest there are no value trees or shrinking: a
+/// strategy is just a deterministic sampler over a seeded RNG. `sample`
+/// takes `&self` so trait objects work (`BoxedStrategy`, `Union`).
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps produced values through `f`.
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { source: self, f }
+    }
+
+    /// Erases the strategy type (needed by `prop_oneof!` arms).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(std::rc::Rc::new(self))
+    }
+}
+
+/// Always produces clones of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, T, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.source.sample(rng))
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<V>(std::rc::Rc<dyn Strategy<Value = V>>);
+
+impl<V> Clone for BoxedStrategy<V> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(std::rc::Rc::clone(&self.0))
+    }
+}
+
+impl<V> std::fmt::Debug for BoxedStrategy<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("BoxedStrategy(..)")
+    }
+}
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+
+    fn sample(&self, rng: &mut TestRng) -> V {
+        self.0.sample(rng)
+    }
+}
+
+/// Uniform choice among erased strategies (the `prop_oneof!` backend;
+/// real proptest supports weighted arms, this subset does not).
+pub struct Union<V> {
+    arms: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Union<V> {
+    /// Builds a union; panics on an empty arm list.
+    pub fn new(arms: Vec<BoxedStrategy<V>>) -> Union<V> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn sample(&self, rng: &mut TestRng) -> V {
+        let idx = rng.gen_range(0..self.arms.len());
+        self.arms[idx].sample(rng)
+    }
+}
+
+macro_rules! range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategies!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize, f32, f64);
+
+macro_rules! tuple_strategies {
+    ($(($($s:ident / $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategies! {
+    (A/0, B/1)
+    (A/0, B/1, C/2)
+    (A/0, B/1, C/2, D/3)
+    (A/0, B/1, C/2, D/3, E/4)
+}
+
+/// Element-count specification for [`vec`]: an exact `usize`, `lo..hi`,
+/// or `lo..=hi`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SizeRange {
+    lo: usize,
+    /// Exclusive upper bound.
+    hi: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> SizeRange {
+        SizeRange { lo: n, hi: n + 1 }
+    }
+}
+
+impl From<core::ops::Range<usize>> for SizeRange {
+    fn from(r: core::ops::Range<usize>) -> SizeRange {
+        assert!(r.start < r.end, "empty vec size range");
+        SizeRange { lo: r.start, hi: r.end }
+    }
+}
+
+impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: core::ops::RangeInclusive<usize>) -> SizeRange {
+        assert!(r.start() <= r.end(), "empty vec size range");
+        SizeRange { lo: *r.start(), hi: *r.end() + 1 }
+    }
+}
+
+/// Produces `Vec`s whose elements come from an inner strategy.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+/// Builds a [`VecStrategy`] (`prop::collection::vec`).
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = if self.size.lo + 1 >= self.size.hi {
+            self.size.lo
+        } else {
+            rng.gen_range(self.size.lo..self.size.hi)
+        };
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// Produces `HashSet`s whose elements come from an inner strategy.
+#[derive(Debug, Clone)]
+pub struct HashSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+/// Builds a [`HashSetStrategy`] (`prop::collection::hash_set`).
+pub fn hash_set<S>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: std::hash::Hash + Eq,
+{
+    HashSetStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+impl<S> Strategy for HashSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: std::hash::Hash + Eq,
+{
+    type Value = std::collections::HashSet<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> std::collections::HashSet<S::Value> {
+        let target = if self.size.lo + 1 >= self.size.hi {
+            self.size.lo
+        } else {
+            rng.gen_range(self.size.lo..self.size.hi)
+        };
+        let mut set = std::collections::HashSet::with_capacity(target);
+        // Duplicates don't grow the set; cap the retries so a strategy
+        // whose domain is smaller than `target` terminates with what it
+        // managed to collect instead of spinning forever.
+        let mut attempts = 0usize;
+        while set.len() < target && attempts < target.saturating_mul(100) + 100 {
+            set.insert(self.element.sample(rng));
+            attempts += 1;
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TestRng;
+
+    #[test]
+    fn ranges_tuples_and_maps_sample_in_bounds() {
+        let mut rng = TestRng::from_seed(1);
+        for _ in 0..1_000 {
+            let x = (3i64..9).sample(&mut rng);
+            assert!((3..9).contains(&x));
+            let f = (0.25f64..=0.75).sample(&mut rng);
+            assert!((0.25..=0.75).contains(&f));
+            let (a, b) = ((0u32..4), (10usize..=11)).sample(&mut rng);
+            assert!(a < 4 && (10..=11).contains(&b));
+            let doubled = (1u64..5).prop_map(|v| v * 2).sample(&mut rng);
+            assert!(doubled % 2 == 0 && (2..10).contains(&doubled));
+        }
+    }
+
+    #[test]
+    fn vec_respects_exact_and_ranged_sizes() {
+        let mut rng = TestRng::from_seed(2);
+        for _ in 0..200 {
+            assert_eq!(vec(0.0f64..1.0, 6).sample(&mut rng).len(), 6);
+            let v = vec(0u64..10, 2..5).sample(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            let nested = vec(vec(0.0f64..1.0, 3), 1..4).sample(&mut rng);
+            assert!(nested.iter().all(|row| row.len() == 3));
+        }
+    }
+
+    #[test]
+    fn union_draws_from_every_arm() {
+        let mut rng = TestRng::from_seed(3);
+        let u = Union::new(vec![
+            (0u64..1).boxed(),
+            (100u64..101).boxed(),
+            Just(7u64).boxed(),
+        ]);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            seen.insert(u.sample(&mut rng));
+        }
+        assert_eq!(
+            seen,
+            [0u64, 100, 7].into_iter().collect::<std::collections::HashSet<_>>()
+        );
+    }
+}

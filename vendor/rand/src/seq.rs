@@ -1,0 +1,18 @@
+//! Sequence helpers (`SliceRandom::shuffle`).
+
+use crate::RngCore;
+
+/// Random operations on slices.
+pub trait SliceRandom {
+    /// Shuffles the slice in place (Fisher–Yates).
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = crate::below(rng, i as u64 + 1) as usize;
+            self.swap(i, j);
+        }
+    }
+}

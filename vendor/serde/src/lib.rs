@@ -1,0 +1,19 @@
+//! Offline vendored `serde` facade.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its data types so
+//! that downstream users with a real `serde` can serialize them, but no
+//! code in this repository ever *invokes* serialization (the wire
+//! protocol uses its own hand-rolled JSON codec in `rafiki-serve`). In
+//! offline build environments the real `serde` is unavailable, so this
+//! facade supplies the two marker traits and no-op derive macros: the
+//! derives keep compiling and the `#[serde(...)]` helper attributes keep
+//! being accepted, with zero runtime behavior.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

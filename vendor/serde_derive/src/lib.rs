@@ -1,0 +1,146 @@
+//! No-op `Serialize`/`Deserialize` derives for the offline `serde`
+//! facade: each derive emits an empty marker-trait impl (the facade's
+//! traits carry no methods) and accepts-and-ignores `#[serde(...)]`
+//! helper attributes, so code written against real serde keeps
+//! compiling in offline builds.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// The parsed shape of a derive input: just enough to emit an impl.
+struct Input {
+    /// Type name.
+    name: String,
+    /// Generic parameter list with bounds, without the angle brackets
+    /// (empty for non-generic types), e.g. `'a, T: Clone, const N: usize`.
+    params: String,
+    /// Generic arguments for the self type, e.g. `'a, T, N`.
+    args: String,
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut tokens = input.into_iter().peekable();
+    // Skip attributes (`#[...]`) and visibility (`pub`, `pub(...)`).
+    let name = loop {
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id))
+                if id.to_string() == "struct"
+                    || id.to_string() == "enum"
+                    || id.to_string() == "union" =>
+            {
+                match tokens.next() {
+                    Some(TokenTree::Ident(name)) => break name.to_string(),
+                    other => panic!("expected type name after struct/enum, got {other:?}"),
+                }
+            }
+            Some(_) => {}
+            None => panic!("derive input ended before a struct/enum keyword"),
+        }
+    };
+
+    // Optional generics: `<` ... matching `>` at depth 0.
+    let mut params = String::new();
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            tokens.next();
+            let mut depth = 1usize;
+            let mut glue_next = false; // no space after a lifetime tick
+            for tt in tokens.by_ref() {
+                let mut tick = false;
+                if let TokenTree::Punct(ref p) = tt {
+                    match p.as_char() {
+                        '<' => depth += 1,
+                        '>' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        '\'' => tick = true,
+                        _ => {}
+                    }
+                }
+                if !params.is_empty() && !glue_next {
+                    params.push(' ');
+                }
+                params.push_str(&tt.to_string());
+                glue_next = tick;
+            }
+        }
+    }
+    let args = generic_args(&params);
+    Input { name, params, args }
+}
+
+/// Extracts the bare generic argument names (`'a, T, N`) from a
+/// parameter list with bounds (`'a, T: Clone + 'a, const N: usize`).
+fn generic_args(params: &str) -> String {
+    let mut args = Vec::new();
+    let mut depth = 0i32;
+    for piece in split_top_level_commas(params, &mut depth) {
+        let piece = piece.trim();
+        if piece.is_empty() {
+            continue;
+        }
+        let head = piece.split([':', '=']).next().unwrap_or("").trim();
+        let name = head.strip_prefix("const ").unwrap_or(head).trim();
+        if !name.is_empty() {
+            args.push(name.to_string());
+        }
+    }
+    args.join(", ")
+}
+
+fn split_top_level_commas<'s>(s: &'s str, depth: &mut i32) -> Vec<&'s str> {
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    for (i, c) in s.char_indices() {
+        match c {
+            '<' | '(' | '[' => *depth += 1,
+            '>' | ')' | ']' => *depth -= 1,
+            ',' if *depth == 0 => {
+                out.push(&s[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    out.push(&s[start..]);
+    out
+}
+
+fn marker_impl(input: TokenStream, deserialize: bool) -> TokenStream {
+    let Input { name, params, args } = parse_input(input);
+    let self_ty = if args.is_empty() {
+        name.clone()
+    } else {
+        format!("{name}<{args}>")
+    };
+    let code = if deserialize {
+        let lt_params = if params.is_empty() {
+            "'de".to_string()
+        } else {
+            format!("'de, {params}")
+        };
+        format!("impl<{lt_params}> serde::Deserialize<'de> for {self_ty} {{}}")
+    } else if params.is_empty() {
+        format!("impl serde::Serialize for {self_ty} {{}}")
+    } else {
+        format!("impl<{params}> serde::Serialize for {self_ty} {{}}")
+    };
+    code.parse().expect("generated impl must parse")
+}
+
+/// Derives the facade's empty `Serialize` marker impl.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, false)
+}
+
+/// Derives the facade's empty `Deserialize` marker impl.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, true)
+}
