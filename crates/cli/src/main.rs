@@ -40,20 +40,25 @@ USAGE:
   rafiki-tune ycsb    [--preset A] [--seconds 3]
       Benchmark a standard YCSB preset on the default configuration.
   rafiki-tune serve   [--addr 127.0.0.1:7878] [--window 1000]
-                      [--proactive] [--quick]
+                      [--proactive] [--quick] [--trace FILE]
+                      [--log-level error|warn|info|debug|trace]
       Fit the tuner, then run the online tuning daemon until shutdown.
+      --trace writes every event as JSONL to FILE; --log-level prints
+      human-readable lines to stderr at that severity and up.
   rafiki-tune client  [--addr 127.0.0.1:7878] [--rr 0.9] [--ops 2000]
-                      [--batch 64] [--seed 0] | --stats | --shutdown
+                      [--batch 64] [--seed 0] | --stats | --metrics
+                      | --shutdown
       Stream generated operations at a daemon (framed --batch ops per
       request; --batch 1 sends one op per frame) and print the latency
-      digest, or just query / stop it.
+      digest, or just query / stop it. --metrics prints the daemon's
+      Prometheus text exposition.
 
-Boolean flags (--quick, --proactive, --stats, --shutdown, --help) take
-no value; --flag=value works for every flag.
+Boolean flags (--quick, --proactive, --stats, --metrics, --shutdown,
+--help) take no value; --flag=value works for every flag.
 ";
 
 /// Flags that take no value (`--quick` rather than `--quick true`).
-const BOOL_FLAGS: &[&str] = &["help", "quick", "proactive", "stats", "shutdown"];
+const BOOL_FLAGS: &[&str] = &["help", "quick", "proactive", "stats", "metrics", "shutdown"];
 
 fn main() {
     let args = match Args::parse(std::env::args().skip(1), BOOL_FLAGS) {
@@ -279,8 +284,63 @@ fn cmd_replay(args: &Args) -> Result<(), ArgError> {
     Ok(())
 }
 
+/// Installs the process-global tracing subscriber from `--trace` /
+/// `--log-level`, returning whether anything was installed.
+///
+/// `--trace FILE` captures *everything* (trace level) as JSONL;
+/// `--log-level` prints human-readable lines to stderr at that severity
+/// and up. With both, the stderr branch is level-filtered while the
+/// file still gets the full stream.
+fn init_observability(args: &Args) -> Result<bool, ArgError> {
+    use rafiki_obs::{
+        set_subscriber, FilterSink, HumanSink, JsonlSink, Level, Subscriber, TeeSink,
+    };
+    use std::sync::Arc;
+
+    let trace_path = args.get_or("trace", "");
+    let log_level = args.get_or("log-level", "");
+    let console: Option<Level> = match log_level {
+        "" => None,
+        s => Some(
+            s.parse()
+                .map_err(|e: String| ArgError(format!("--log-level {s}: {e}")))?,
+        ),
+    };
+    let mut sinks: Vec<Arc<dyn Subscriber>> = Vec::new();
+    if !trace_path.is_empty() {
+        let sink = JsonlSink::create(trace_path)
+            .map_err(|e| ArgError(format!("cannot create {trace_path}: {e}")))?;
+        sinks.push(Arc::new(sink));
+    }
+    if let Some(level) = console {
+        let human: Arc<dyn Subscriber> = Arc::new(HumanSink::new(std::io::stderr()));
+        sinks.push(if trace_path.is_empty() {
+            human
+        } else {
+            // The file captures everything; only stderr is filtered.
+            Arc::new(FilterSink::new(level, human))
+        });
+    }
+    // The file wants every event; otherwise produce only what stderr shows.
+    let max = if trace_path.is_empty() {
+        match console {
+            Some(level) => level,
+            None => return Ok(false),
+        }
+    } else {
+        Level::Trace
+    };
+    let subscriber: Arc<dyn Subscriber> = match sinks.len() {
+        1 => sinks.pop().expect("one sink"),
+        _ => Arc::new(TeeSink::new(sinks)),
+    };
+    set_subscriber(subscriber, max);
+    Ok(true)
+}
+
 fn cmd_serve(args: &Args) -> Result<(), ArgError> {
     let addr = args.get_or("addr", "127.0.0.1:7878").to_string();
+    init_observability(args)?;
     let ctx = context(args.has("quick"));
     let mut tuner = RafikiTuner::new(ctx, TunerConfig::fast());
     eprintln!("fitting the tuner (data collection + surrogate training)…");
@@ -323,6 +383,13 @@ fn cmd_client(args: &Args) -> Result<(), ArgError> {
             .shutdown()
             .map_err(|e| ArgError(format!("shutdown: {e}")))?;
         println!("daemon at {addr} acknowledged shutdown");
+        return Ok(());
+    }
+    if args.has("metrics") {
+        let report = client
+            .metrics()
+            .map_err(|e| ArgError(format!("metrics: {e}")))?;
+        print!("{}", report.prometheus);
         return Ok(());
     }
     if !args.has("stats") {

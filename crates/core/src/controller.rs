@@ -9,6 +9,7 @@
 
 use crate::tuner::{RafikiTuner, TunerError};
 use rafiki_engine::EngineConfig;
+use rafiki_obs as obs;
 use rafiki_workload::{RegimeMarkovForecaster, WorkloadTrace};
 use serde::{Deserialize, Serialize};
 
@@ -54,6 +55,11 @@ pub struct WindowDecision {
     pub switched: bool,
     /// Predicted throughput of the active configuration.
     pub predicted_throughput: f64,
+    /// Human-readable explanation of why the controller switched or
+    /// held (absent in decision logs recorded before this field
+    /// existed).
+    #[serde(default)]
+    pub rationale: String,
 }
 
 /// Outcome of driving a controller across a trace.
@@ -122,6 +128,7 @@ impl<'t> OnlineController<'t> {
         window: usize,
         read_ratio: f64,
     ) -> Result<WindowDecision, TunerError> {
+        let first_window = self.last_rr.is_none();
         let shifted = self
             .last_rr
             .is_none_or(|prev| (read_ratio - prev).abs() >= self.cfg.rr_change_threshold);
@@ -141,8 +148,16 @@ impl<'t> OnlineController<'t> {
 
         let mut reoptimized = false;
         let mut switched = false;
+        let rationale;
         if shifted || forecast_shift {
             reoptimized = true;
+            let trigger = if forecast_shift && !shifted {
+                "forecast shift"
+            } else if first_window {
+                "first window"
+            } else {
+                "observed rr shift"
+            };
             let space = self.tuner.space().ok_or(TunerError::NotFitted)?;
             let candidate = self.tuner.optimize(target_rr)?;
             let active_genome = space.genome_of(&self.active);
@@ -160,8 +175,22 @@ impl<'t> OnlineController<'t> {
                 self.active = candidate.config;
                 self.active_predicted = candidate.predicted_throughput;
                 switched = true;
+                rationale = format!(
+                    "switch: {trigger}; predicted gain {:.1}% >= min {:.1}%",
+                    gain * 100.0,
+                    self.cfg.min_predicted_gain * 100.0
+                );
             } else {
                 self.active_predicted = active_pred;
+                rationale = if candidate.config == self.active {
+                    format!("hold: {trigger}; GA re-derived the active config")
+                } else {
+                    format!(
+                        "hold: {trigger}; predicted gain {:.1}% < min {:.1}%",
+                        gain * 100.0,
+                        self.cfg.min_predicted_gain * 100.0
+                    )
+                };
             }
         } else {
             let space = self.tuner.space().ok_or(TunerError::NotFitted)?;
@@ -169,6 +198,30 @@ impl<'t> OnlineController<'t> {
             self.active_predicted = self
                 .tuner
                 .predict_many(read_ratio, std::slice::from_ref(&genome))?[0];
+            rationale = format!(
+                "hold: rr change below threshold {:.2}",
+                self.cfg.rr_change_threshold
+            );
+        }
+
+        if obs::enabled(obs::Level::Info) {
+            obs::event(
+                "controller",
+                "decision",
+                obs::Level::Info,
+                vec![
+                    ("window", obs::Value::U64(window as u64)),
+                    ("read_ratio", obs::Value::F64(read_ratio)),
+                    ("target_rr", obs::Value::F64(target_rr)),
+                    ("reoptimized", obs::Value::Bool(reoptimized)),
+                    ("switched", obs::Value::Bool(switched)),
+                    (
+                        "predicted_throughput",
+                        obs::Value::F64(self.active_predicted),
+                    ),
+                    ("rationale", obs::Value::str(rationale.clone())),
+                ],
+            );
         }
 
         Ok(WindowDecision {
@@ -177,6 +230,7 @@ impl<'t> OnlineController<'t> {
             reoptimized,
             switched,
             predicted_throughput: self.active_predicted,
+            rationale,
         })
     }
 
@@ -229,6 +283,70 @@ mod tests {
         assert!(!d1.reoptimized, "small shift must not re-optimize");
         let d2 = ctrl.observe_window(2, 0.2).unwrap();
         assert!(d2.reoptimized, "large shift must re-optimize");
+    }
+
+    #[test]
+    fn decisions_explain_themselves() {
+        let tuner = fitted_tuner();
+        let mut ctrl = OnlineController::new(&tuner, ControllerConfig::default()).unwrap();
+        let d0 = ctrl.observe_window(0, 0.9).unwrap();
+        assert!(
+            d0.rationale.contains("first window"),
+            "got: {}",
+            d0.rationale
+        );
+        let d1 = ctrl.observe_window(1, 0.88).unwrap();
+        assert!(
+            d1.rationale.contains("below threshold"),
+            "got: {}",
+            d1.rationale
+        );
+        let d2 = ctrl.observe_window(2, 0.1).unwrap();
+        assert!(d2.reoptimized);
+        assert!(
+            d2.rationale.contains("observed rr shift"),
+            "got: {}",
+            d2.rationale
+        );
+        if d2.switched {
+            assert!(d2.rationale.starts_with("switch:"), "got: {}", d2.rationale);
+        } else {
+            assert!(d2.rationale.starts_with("hold:"), "got: {}", d2.rationale);
+        }
+    }
+
+    #[test]
+    fn decision_events_reach_an_installed_subscriber() {
+        // Other tests in this binary may emit controller events while our
+        // subscriber is installed (tests run in parallel and the
+        // subscriber is process-global), so pick read ratios no other
+        // test uses and assert existence, not exact counts.
+        const RR_A: f64 = 0.912_345;
+        const RR_B: f64 = 0.112_345;
+        let tuner = fitted_tuner();
+        let sink = std::sync::Arc::new(rafiki_obs::MemorySink::new());
+        rafiki_obs::set_subscriber(sink.clone(), rafiki_obs::Level::Info);
+        let mut ctrl = OnlineController::new(&tuner, ControllerConfig::default()).unwrap();
+        ctrl.observe_window(0, RR_A).unwrap();
+        ctrl.observe_window(1, RR_B).unwrap();
+        rafiki_obs::clear_subscriber();
+        let mine: Vec<_> = sink
+            .events()
+            .into_iter()
+            .filter(|e| {
+                e.target == "controller"
+                    && e.name == "decision"
+                    && e.fields.iter().any(|(k, v)| {
+                        *k == "read_ratio"
+                            && matches!(v, rafiki_obs::Value::F64(x) if *x == RR_A || *x == RR_B)
+                    })
+            })
+            .collect();
+        assert_eq!(mine.len(), 2, "one decision event per observed window");
+        for e in &mine {
+            assert!(e.fields.iter().any(|(k, _)| *k == "rationale"));
+            assert!(e.fields.iter().any(|(k, _)| *k == "predicted_throughput"));
+        }
     }
 
     #[test]

@@ -8,6 +8,7 @@ use crate::search_space::ConfigSearchSpace;
 use rafiki_engine::{param_catalog, EngineConfig, ParamId, ParamInfo};
 use rafiki_ga::{GaConfig, Optimizer};
 use rafiki_neural::{Matrix, Surrogate, SurrogateConfig, SurrogateModel};
+use rafiki_obs as obs;
 use serde::{Deserialize, Serialize};
 
 /// Tuner-level errors.
@@ -177,6 +178,7 @@ impl RafikiTuner {
     /// Returns [`TunerError::EmptyDataset`] when the collection plan is
     /// degenerate.
     pub fn fit(&mut self) -> Result<TunerReport, TunerError> {
+        let fit_span = obs::span("tuner", "fit", obs::Level::Info);
         // Phase 1-2: identify key parameters.
         let key_params: Vec<ParamInfo> = if let Some(scfg) = &self.cfg.screening {
             let report = identify_key_parameters(&self.ctx, scfg);
@@ -210,6 +212,14 @@ impl RafikiTuner {
             key_parameters: space.params().iter().map(|p| p.name.to_string()).collect(),
             samples_collected: dataset.len(),
         };
+        fit_span.close(vec![
+            (
+                "key_parameters",
+                obs::Value::U64(report.key_parameters.len() as u64),
+            ),
+            ("samples", obs::Value::U64(report.samples_collected as u64)),
+            ("screened", obs::Value::Bool(report.screening.is_some())),
+        ]);
         self.space = Some(space);
         self.dataset = Some(dataset);
         self.surrogate = Some(surrogate);
@@ -258,6 +268,7 @@ impl RafikiTuner {
             ..self.cfg.ga
         };
         let optimizer = Optimizer::new(space.to_ga_space(), ga_cfg);
+        let search_span = obs::span("tuner", "optimize", obs::Level::Debug);
         // Batch-first hot path: assemble one feature matrix per generation
         // and score it with a single pass through the surrogate trait
         // object (one matrix–matrix product per ensemble member).
@@ -269,6 +280,16 @@ impl RafikiTuner {
                 .collect();
             surrogate.predict_batch(&Matrix::from_rows(&rows))
         });
+        search_span.close(vec![
+            ("read_ratio", obs::Value::F64(read_ratio)),
+            ("seed", obs::Value::U64(seed)),
+            (
+                "generations",
+                obs::Value::U64(self.cfg.ga.generations as u64),
+            ),
+            ("evaluations", obs::Value::U64(result.evaluations as u64)),
+            ("best_fitness", obs::Value::F64(result.best_fitness)),
+        ]);
         Ok(OptimizedConfig {
             config: space.config_from_genome(&result.best_genome),
             genome: result.best_genome,

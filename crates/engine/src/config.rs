@@ -486,6 +486,41 @@ impl EngineConfig {
             }
         }
     }
+
+    /// The parameters on which `self` and `next` differ, in catalog
+    /// order, with both values in the `f64` encoding of
+    /// [`EngineConfig::get`]. The backbone of reconfiguration audit
+    /// trails: a switch's diff names exactly what changed and by how
+    /// much.
+    pub fn diff(&self, next: &EngineConfig) -> Vec<ParamChange> {
+        param_catalog()
+            .into_iter()
+            .filter_map(|info| {
+                let from = self.get(info.id);
+                let to = next.get(info.id);
+                (from != to).then_some(ParamChange {
+                    id: info.id,
+                    name: info.name,
+                    from,
+                    to,
+                })
+            })
+            .collect()
+    }
+}
+
+/// One parameter's change across a reconfiguration (see
+/// [`EngineConfig::diff`]).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ParamChange {
+    /// Identifier.
+    pub id: ParamId,
+    /// `cassandra.yaml`-style name from the catalog.
+    pub name: &'static str,
+    /// Value before the switch (`f64` encoding).
+    pub from: f64,
+    /// Value after the switch (`f64` encoding).
+    pub to: f64,
 }
 
 /// Cost-model constants of the simulated server. These are calibration
@@ -633,6 +668,38 @@ mod tests {
             );
         }
         cfg.validate();
+    }
+
+    #[test]
+    fn diff_names_exactly_the_changed_params_in_catalog_order() {
+        let base = EngineConfig::default();
+        assert!(base.diff(&base).is_empty(), "identical configs: no diff");
+
+        let mut next = base.clone();
+        next.set(ParamId::ConcurrentWrites, 64.0);
+        next.set(ParamId::BloomFilterFpChance, 0.05);
+        next.set(ParamId::CompactionMethod, 1.0);
+        let diff = base.diff(&next);
+        // Catalog order, not mutation order.
+        let names: Vec<&str> = diff.iter().map(|c| c.name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "compaction_method",
+                "concurrent_writes",
+                "bloom_filter_fp_chance"
+            ]
+        );
+        for c in &diff {
+            assert_eq!(c.from, base.get(c.id));
+            assert_eq!(c.to, next.get(c.id));
+            assert_ne!(c.from, c.to);
+        }
+        // The reverse diff swaps directions.
+        let back = next.diff(&base);
+        assert_eq!(back.len(), diff.len());
+        assert_eq!(back[0].from, diff[0].to);
+        assert_eq!(back[0].to, diff[0].from);
     }
 
     #[test]

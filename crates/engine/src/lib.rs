@@ -57,11 +57,11 @@ pub use bench::run_benchmark;
 pub use cluster::{replicas_of, Cluster, ClusterSpec};
 pub use compaction::{CompactionJob, Strategy};
 pub use config::{
-    param_catalog, CompactionMethod, CostModel, EngineConfig, ParamDomain, ParamId, ParamInfo,
-    ServerSpec,
+    param_catalog, CompactionMethod, CostModel, EngineConfig, ParamChange, ParamDomain, ParamId,
+    ParamInfo, ServerSpec,
 };
 pub use fasthash::{FastHashMap, FastHashSet, FxHasher};
 pub use metrics::EngineMetrics;
 pub use scylla::{scylla_effective_config, scylla_engine, scylla_ignored_params, ScyllaTuner};
-pub use server::{Engine, Flavor, OpCompletion, OpToken, REPLICA_TOKEN};
+pub use server::{Engine, Flavor, OpCompletion, OpToken, ReconfigOutcome, REPLICA_TOKEN};
 pub use sim::{SimDuration, SimTime};

@@ -26,6 +26,11 @@ pub struct EngineMetrics {
     pub file_cache_hits: u64,
     /// Block fetches that missed the file cache.
     pub file_cache_misses: u64,
+    /// Entries evicted from the file cache to make room (eviction
+    /// pressure: a high rate relative to hits means the cache is too
+    /// small for the working set).
+    #[serde(default)]
+    pub file_cache_evictions: u64,
     /// Misses served by the OS page cache.
     pub os_cache_hits: u64,
     /// Misses that went all the way to disk.
@@ -61,6 +66,9 @@ impl EngineMetrics {
             file_cache_misses: self
                 .file_cache_misses
                 .saturating_sub(earlier.file_cache_misses),
+            file_cache_evictions: self
+                .file_cache_evictions
+                .saturating_sub(earlier.file_cache_evictions),
             os_cache_hits: self.os_cache_hits.saturating_sub(earlier.os_cache_hits),
             disk_reads: self.disk_reads.saturating_sub(earlier.disk_reads),
             row_cache_hits: self.row_cache_hits.saturating_sub(earlier.row_cache_hits),
@@ -106,6 +114,7 @@ mod tests {
             candidates_probed: 12,
             file_cache_hits: 8,
             file_cache_misses: 4,
+            file_cache_evictions: 3,
             os_cache_hits: 2,
             disk_reads: 2,
             row_cache_hits: 0,
@@ -123,6 +132,7 @@ mod tests {
             candidates_probed: 30,
             file_cache_hits: 20,
             file_cache_misses: 10,
+            file_cache_evictions: 7,
             os_cache_hits: 5,
             disk_reads: 5,
             row_cache_hits: 1,
@@ -140,6 +150,7 @@ mod tests {
         assert_eq!(d.candidates_probed, 18);
         assert_eq!(d.file_cache_hits, 12);
         assert_eq!(d.file_cache_misses, 6);
+        assert_eq!(d.file_cache_evictions, 4);
         assert_eq!(d.os_cache_hits, 3);
         assert_eq!(d.disk_reads, 3);
         assert_eq!(d.row_cache_hits, 1);

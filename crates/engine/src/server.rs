@@ -18,12 +18,13 @@
 //! paper describes.
 
 use crate::compaction::{CompactionJob, Strategy};
-use crate::config::{CompactionMethod, EngineConfig, ServerSpec};
+use crate::config::{CompactionMethod, EngineConfig, ParamChange, ServerSpec};
 use crate::fasthash::{FastHashMap, FastHashSet};
 use crate::metrics::EngineMetrics;
 use crate::scylla::ScyllaTuner;
 use crate::sim::{CpuModel, DiskDevice, DiskReq, SimDuration, SimTime, WorkerPool};
 use crate::store::{CommitLog, LruCache, Memtable, PayloadArena, Row, SsTable, TableId, TableSet};
+use rafiki_obs as obs;
 use rafiki_workload::{Key, OpKind, Operation};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
@@ -53,6 +54,17 @@ impl OpCompletion {
     pub fn latency(&self) -> SimDuration {
         self.completed_at.since(self.issued_at)
     }
+}
+
+/// What an [`Engine::reconfigure`] call did: which parameters changed
+/// (catalog order, old→new in the `f64` encoding) and how long the
+/// apply took in wall-clock microseconds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReconfigOutcome {
+    /// Parameters that differ between the old and new configuration.
+    pub changed: Vec<ParamChange>,
+    /// Wall-clock duration of the apply, in microseconds.
+    pub apply_us: u64,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -297,17 +309,24 @@ impl Engine {
     /// freshly built engines. In-flight background flushes and
     /// compactions finish under the parameters they started with.
     ///
+    /// Returns a [`ReconfigOutcome`] naming the parameters that changed
+    /// and the wall-clock apply duration — the raw material of the
+    /// audit trail the serving daemon publishes per switch.
+    ///
     /// # Panics
     ///
     /// Panics when `cfg` fails validation or when foreground operations
     /// are in flight — reconfigure between completed operations, the way
     /// the serving daemon does at window boundaries.
-    pub fn reconfigure(&mut self, cfg: EngineConfig) {
+    pub fn reconfigure(&mut self, cfg: EngineConfig) -> ReconfigOutcome {
         cfg.validate();
         assert!(
             self.in_flight_reads == 0 && self.in_flight_writes == 0,
             "reconfigure with foreground operations in flight"
         );
+        let started = std::time::Instant::now();
+        let span = obs::span("engine", "reconfigure", obs::Level::Info);
+        let changed = self.cfg.diff(&cfg);
         let old = std::mem::replace(&mut self.cfg, cfg);
         let cfg = &self.cfg;
 
@@ -354,6 +373,16 @@ impl Engine {
                 SimDuration::from_millis_f64(1.0),
             );
         }
+
+        let apply_us = started.elapsed().as_micros() as u64;
+        let mut fields = vec![("changed", obs::Value::U64(changed.len() as u64))];
+        if obs::enabled(obs::Level::Info) {
+            for c in &changed {
+                fields.push((c.name, obs::Value::str(format!("{}->{}", c.from, c.to))));
+            }
+        }
+        span.close(fields);
+        ReconfigOutcome { changed, apply_us }
     }
 
     /// Number of live SSTables.
@@ -741,6 +770,18 @@ impl Engine {
             self.tables.add(table);
         }
         self.metrics.flushes += 1;
+        if obs::enabled(obs::Level::Debug) {
+            obs::event(
+                "engine",
+                "flush",
+                obs::Level::Debug,
+                vec![
+                    ("bytes", obs::Value::U64(job.total_bytes)),
+                    ("tables", obs::Value::U64(self.tables.len() as u64)),
+                    ("frozen_bytes", obs::Value::U64(self.frozen_bytes)),
+                ],
+            );
+        }
         // Space freed: release any conservative write block.
         let space = (self.cfg.memtable_heap_space_mb as u64
             + self.cfg.memtable_offheap_space_mb as u64)
@@ -884,13 +925,29 @@ impl Engine {
                 ((self.cfg.sstable_preemptive_open_mb as u64) << 20) / self.spec.block_bytes;
             for &(nid, blocks) in &output_ids {
                 for b in 0..blocks.min(warm_blocks as u32) {
-                    self.file_cache.insert((nid, b), ());
+                    if self.file_cache.insert((nid, b), ()).is_some() {
+                        self.metrics.file_cache_evictions += 1;
+                    }
                 }
             }
         }
 
         self.metrics.compactions += 1;
         self.metrics.compacted_bytes += run.job.input_bytes * 2; // read + write
+        if obs::enabled(obs::Level::Debug) {
+            obs::event(
+                "engine",
+                "compaction",
+                obs::Level::Debug,
+                vec![
+                    ("input_bytes", obs::Value::U64(run.job.input_bytes)),
+                    ("inputs", obs::Value::U64(run.job.inputs.len() as u64)),
+                    ("outputs", obs::Value::U64(output_ids.len() as u64)),
+                    ("level", obs::Value::U64(run.job.output_level as u64)),
+                    ("tables", obs::Value::U64(self.tables.len() as u64)),
+                ],
+            );
+        }
         self.schedule_compactions();
     }
 
@@ -1005,7 +1062,9 @@ impl Engine {
             self.os_cache.insert((tid, block), ());
             0.0
         };
-        self.file_cache.insert((tid, block), ());
+        if self.file_cache.insert((tid, block), ()).is_some() {
+            self.metrics.file_cache_evictions += 1;
+        }
         (cpu, io_ready)
     }
 
@@ -1347,8 +1406,20 @@ mod tests {
         next.concurrent_writes = 64;
         next.file_cache_size_mb = 1_024;
         next.row_cache_size_mb = 64;
-        e.reconfigure(next.clone());
+        let outcome = e.reconfigure(next.clone());
 
+        let changed: Vec<&str> = outcome.changed.iter().map(|c| c.name).collect();
+        assert_eq!(
+            changed,
+            vec![
+                "compaction_method",
+                "concurrent_writes",
+                "file_cache_size_in_mb",
+                "row_cache_size_in_mb",
+            ]
+        );
+        let cw = &outcome.changed[1];
+        assert_eq!((cw.from, cw.to), (32.0, 64.0));
         assert_eq!(*e.config(), next);
         assert_eq!(e.table_count(), tables_before, "data must survive");
         assert_eq!(e.on_disk_bytes(), bytes_before);
@@ -1370,6 +1441,52 @@ mod tests {
         assert!(m.reads_completed > metrics_before.reads_completed);
         assert!(m.writes_completed > metrics_before.writes_completed);
         assert!(m.row_cache_hits > 1_000, "new row cache must serve hits");
+    }
+
+    #[test]
+    fn metrics_delta_spans_a_reconfigure_boundary() {
+        // A serving window can contain a live reconfiguration; the
+        // counters must keep accumulating across it (no reset), so a
+        // delta taken around the boundary counts exactly the work done
+        // since the snapshot.
+        let mut e = engine(EngineConfig::default());
+        let warm: Vec<Operation> = (0..4_000)
+            .map(|i| {
+                if i % 2 == 0 {
+                    Operation::insert(Key(i), 800)
+                } else {
+                    Operation::read(Key(i / 2))
+                }
+            })
+            .collect();
+        run_ops(&mut e, warm);
+        let snapshot = *e.metrics();
+        assert!(snapshot.reads_completed == 2_000 && snapshot.writes_completed == 2_000);
+
+        let mut next = EngineConfig::default();
+        next.file_cache_size_mb = 64; // rebuilt cold
+        next.concurrent_reads = 24;
+        let outcome = e.reconfigure(next);
+        assert_eq!(outcome.changed.len(), 2);
+
+        let after: Vec<Operation> = (0..1_000).map(|i| Operation::read(Key(i * 3))).collect();
+        run_ops(&mut e, after);
+
+        let d = e.metrics().delta(&snapshot);
+        assert_eq!(
+            d.reads_completed, 1_000,
+            "delta counts only post-snapshot reads"
+        );
+        assert_eq!(d.writes_completed, 0);
+        // Totals are monotone across the boundary: delta + snapshot = now.
+        assert_eq!(
+            snapshot.reads_completed + d.reads_completed,
+            e.metrics().reads_completed
+        );
+        assert!(
+            d.file_cache_hits + d.file_cache_misses > 0,
+            "post-reconfigure reads still flow through the (rebuilt) cache"
+        );
     }
 
     #[test]

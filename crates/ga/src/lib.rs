@@ -36,6 +36,7 @@ pub mod space;
 
 pub use space::{GeneSpec, SearchSpace};
 
+use rafiki_obs as obs;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -229,6 +230,20 @@ impl Optimizer {
             let mut order: Vec<usize> = (0..population.len()).collect();
             order.sort_by(|&a, &b| cmp_fitness(scores[b], scores[a]));
             history.push(scores[order[0]]);
+            // Emitted between RNG draws, so instrumentation cannot perturb
+            // the deterministic trajectory.
+            if obs::enabled(obs::Level::Trace) {
+                obs::event(
+                    "ga",
+                    "generation",
+                    obs::Level::Trace,
+                    vec![
+                        ("gen", obs::Value::U64(_gen as u64)),
+                        ("best_so_far", obs::Value::F64(scores[order[0]])),
+                        ("evaluations", obs::Value::U64(evaluations as u64)),
+                    ],
+                );
+            }
 
             let mut next: Vec<Vec<f64>> = Vec::with_capacity(cfg.population);
             // Elites survive unchanged.
@@ -261,6 +276,18 @@ impl Optimizer {
         assert_eq!(finals.len(), 1, "batch evaluator length mismatch");
         let best_fitness = finals[0];
         history.push(best_fitness);
+        if obs::enabled(obs::Level::Debug) {
+            obs::event(
+                "ga",
+                "search_done",
+                obs::Level::Debug,
+                vec![
+                    ("generations", obs::Value::U64(cfg.generations as u64)),
+                    ("evaluations", obs::Value::U64(evaluations as u64)),
+                    ("best_fitness", obs::Value::F64(best_fitness)),
+                ],
+            );
+        }
         GaResult {
             best_genome,
             best_fitness,

@@ -1,0 +1,354 @@
+//! Subscribers that write events somewhere: JSONL, human-readable
+//! lines, an in-memory buffer for tests, and a fan-out tee.
+//!
+//! The JSON encoding here is hand-rolled with the same conventions as
+//! the serve wire codec (`serve/wire.rs`): insertion-ordered keys,
+//! minimal escaping, shortest-round-trip floats via `{:?}`. The obs
+//! crate sits *below* serve in the dependency graph, so it cannot reuse
+//! that codec directly — but the emitted lines parse with it.
+
+use crate::trace::{Event, Subscriber, Value};
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+/// Escapes `s` into `out` as JSON string contents (no surrounding
+/// quotes), matching the serve codec's escaping rules.
+fn escape_json_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn push_json_value(out: &mut String, value: &Value) {
+    match value {
+        Value::U64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::I64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::F64(x) => {
+            if x.is_finite() {
+                let _ = write!(out, "{x:?}");
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+        Value::Str(s) => {
+            out.push('"');
+            escape_json_into(out, s);
+            out.push('"');
+        }
+    }
+}
+
+/// Renders `event` as a single JSON object (no trailing newline) into
+/// `out`. Key order is fixed: `ts_us`, `kind`, `level`, `target`,
+/// `name`, `duration_us` (spans only), then the event's fields in
+/// emission order.
+pub fn encode_event_json(out: &mut String, event: &Event) {
+    let _ = write!(
+        out,
+        "{{\"ts_us\":{},\"kind\":\"{}\",\"level\":\"{}\",\"target\":\"{}\",\"name\":\"{}\"",
+        event.ts_us,
+        event.kind.as_str(),
+        event.level.as_str(),
+        event.target,
+        event.name
+    );
+    if let Some(d) = event.duration_us {
+        let _ = write!(out, ",\"duration_us\":{d}");
+    }
+    for (key, value) in &event.fields {
+        out.push_str(",\"");
+        escape_json_into(out, key);
+        out.push_str("\":");
+        push_json_value(out, value);
+    }
+    out.push('}');
+}
+
+/// Writes one JSON object per line to an [`io::Write`](std::io::Write)
+/// target, typically a buffered file. Lines are flushed on every event
+/// so a trace survives an abrupt process exit.
+pub struct JsonlSink<W: Write + Send> {
+    writer: Mutex<W>,
+}
+
+impl JsonlSink<BufWriter<File>> {
+    /// Creates (truncating) `path` and returns a sink writing to it.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(JsonlSink::new(BufWriter::new(file)))
+    }
+}
+
+impl<W: Write + Send> JsonlSink<W> {
+    /// Wraps an arbitrary writer.
+    pub fn new(writer: W) -> Self {
+        JsonlSink {
+            writer: Mutex::new(writer),
+        }
+    }
+}
+
+impl<W: Write + Send> Subscriber for JsonlSink<W> {
+    fn event(&self, event: &Event) {
+        let mut line = String::with_capacity(128);
+        encode_event_json(&mut line, event);
+        line.push('\n');
+        let mut writer = self.writer.lock().unwrap_or_else(|p| p.into_inner());
+        let _ = writer.write_all(line.as_bytes());
+        let _ = writer.flush();
+    }
+}
+
+/// Writes aligned human-readable lines, e.g.
+/// `[  12345us] INFO  serve/window_close  window=3 ops=400`.
+pub struct HumanSink<W: Write + Send> {
+    writer: Mutex<W>,
+}
+
+impl<W: Write + Send> HumanSink<W> {
+    /// Wraps an arbitrary writer (commonly `std::io::stderr()`).
+    pub fn new(writer: W) -> Self {
+        HumanSink {
+            writer: Mutex::new(writer),
+        }
+    }
+}
+
+impl<W: Write + Send> Subscriber for HumanSink<W> {
+    fn event(&self, event: &Event) {
+        let mut line = String::with_capacity(96);
+        let _ = write!(
+            line,
+            "[{:>9}us] {:<5} {}/{}",
+            event.ts_us,
+            event.level.as_str().to_uppercase(),
+            event.target,
+            event.name
+        );
+        if let Some(d) = event.duration_us {
+            let _ = write!(line, "  took={d}us");
+        }
+        for (key, value) in &event.fields {
+            line.push_str("  ");
+            line.push_str(key);
+            line.push('=');
+            match value {
+                Value::Str(s) => line.push_str(s),
+                other => push_json_value(&mut line, other),
+            }
+        }
+        line.push('\n');
+        let mut writer = self.writer.lock().unwrap_or_else(|p| p.into_inner());
+        let _ = writer.write_all(line.as_bytes());
+        let _ = writer.flush();
+    }
+}
+
+/// Buffers events in memory; the test workhorse.
+#[derive(Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<Event>>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        MemorySink::default()
+    }
+
+    /// A copy of everything received so far.
+    pub fn events(&self) -> Vec<Event> {
+        self.events
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .clone()
+    }
+
+    /// Drops all buffered events.
+    pub fn clear(&self) {
+        self.events
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .clear();
+    }
+}
+
+impl Subscriber for MemorySink {
+    fn event(&self, event: &Event) {
+        self.events
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .push(event.clone());
+    }
+}
+
+/// Fans every event out to multiple subscribers, in order.
+pub struct TeeSink {
+    sinks: Vec<std::sync::Arc<dyn Subscriber>>,
+}
+
+impl TeeSink {
+    /// Tees across `sinks`.
+    pub fn new(sinks: Vec<std::sync::Arc<dyn Subscriber>>) -> Self {
+        TeeSink { sinks }
+    }
+}
+
+impl Subscriber for TeeSink {
+    fn event(&self, event: &Event) {
+        for sink in &self.sinks {
+            sink.event(event);
+        }
+    }
+}
+
+/// Forwards only events at or above a severity to an inner subscriber.
+///
+/// The global [`set_subscriber`](crate::set_subscriber) level gates what
+/// is *produced*; this gates what one branch of a [`TeeSink`] *keeps* —
+/// e.g. a trace file capturing everything while the console shows only
+/// `info` and up.
+pub struct FilterSink {
+    max: crate::trace::Level,
+    inner: std::sync::Arc<dyn Subscriber>,
+}
+
+impl FilterSink {
+    /// Passes events whose level is at most `max` (levels order
+    /// `Error < Warn < … < Trace`) through to `inner`.
+    pub fn new(max: crate::trace::Level, inner: std::sync::Arc<dyn Subscriber>) -> Self {
+        FilterSink { max, inner }
+    }
+}
+
+impl Subscriber for FilterSink {
+    fn event(&self, event: &Event) {
+        if event.level as u8 <= self.max as u8 {
+            self.inner.event(event);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{EventKind, Level};
+    use std::sync::Arc;
+
+    fn sample_event() -> Event {
+        Event {
+            ts_us: 42,
+            kind: EventKind::Span,
+            level: Level::Info,
+            target: "serve",
+            name: "window_close",
+            duration_us: Some(17),
+            fields: vec![
+                ("window", Value::U64(3)),
+                ("rr", Value::F64(0.25)),
+                ("note", Value::str("shift \"a\"\n")),
+                ("switched", Value::Bool(true)),
+                ("drift", Value::I64(-2)),
+            ],
+        }
+    }
+
+    #[test]
+    fn json_encoding_is_deterministic_and_escaped() {
+        let mut out = String::new();
+        encode_event_json(&mut out, &sample_event());
+        assert_eq!(
+            out,
+            "{\"ts_us\":42,\"kind\":\"span\",\"level\":\"info\",\"target\":\"serve\",\
+             \"name\":\"window_close\",\"duration_us\":17,\"window\":3,\"rr\":0.25,\
+             \"note\":\"shift \\\"a\\\"\\n\",\"switched\":true,\"drift\":-2}"
+        );
+    }
+
+    #[test]
+    fn non_finite_floats_encode_as_null() {
+        let mut event = sample_event();
+        event.fields = vec![("bad", Value::F64(f64::NAN))];
+        let mut out = String::new();
+        encode_event_json(&mut out, &event);
+        assert!(out.ends_with("\"bad\":null}"), "got: {out}");
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_line_per_event() {
+        let sink = JsonlSink::new(Vec::new());
+        sink.event(&sample_event());
+        sink.event(&sample_event());
+        let bytes = sink.writer.into_inner().unwrap_or_else(|p| p.into_inner());
+        let text = String::from_utf8(bytes).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        for line in text.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+        }
+    }
+
+    #[test]
+    fn human_sink_renders_fields_inline() {
+        let sink = HumanSink::new(Vec::new());
+        sink.event(&sample_event());
+        let bytes = sink.writer.into_inner().unwrap_or_else(|p| p.into_inner());
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.contains("INFO"), "got: {text}");
+        assert!(text.contains("serve/window_close"), "got: {text}");
+        assert!(text.contains("took=17us"), "got: {text}");
+        assert!(text.contains("window=3"), "got: {text}");
+    }
+
+    #[test]
+    fn tee_fans_out_in_order() {
+        let a = Arc::new(MemorySink::new());
+        let b = Arc::new(MemorySink::new());
+        let tee = TeeSink::new(vec![a.clone(), b.clone()]);
+        tee.event(&sample_event());
+        assert_eq!(a.events().len(), 1);
+        assert_eq!(b.events().len(), 1);
+        assert_eq!(a.events()[0], b.events()[0]);
+    }
+
+    #[test]
+    fn filter_sink_drops_events_below_its_level() {
+        let inner = Arc::new(MemorySink::new());
+        let filter = FilterSink::new(Level::Info, inner.clone());
+        let mut debug_event = sample_event();
+        debug_event.level = Level::Debug;
+        filter.event(&sample_event()); // Info: kept.
+        filter.event(&debug_event); // Debug: dropped.
+        let kept = inner.events();
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].level, Level::Info);
+    }
+
+    #[test]
+    fn memory_sink_clear_empties_buffer() {
+        let sink = MemorySink::new();
+        sink.event(&sample_event());
+        assert_eq!(sink.events().len(), 1);
+        sink.clear();
+        assert!(sink.events().is_empty());
+    }
+}

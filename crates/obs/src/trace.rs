@@ -1,0 +1,370 @@
+//! The structured tracing facade: events, spans, and the process-global
+//! subscriber.
+//!
+//! Instrumentation sites call [`event`] or open a [`Span`]; when no
+//! subscriber is installed (the default) both cost a single relaxed
+//! atomic load and build nothing — safe to leave in hot paths. A
+//! [`Subscriber`] installed via [`set_subscriber`] receives every
+//! [`Event`] at or above its level, stamped with a monotonic timestamp
+//! (microseconds since the first use of the facade in this process).
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+use std::time::Instant;
+
+/// Event severity, ordered from most to least severe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Something failed.
+    Error = 1,
+    /// Something degraded.
+    Warn = 2,
+    /// Lifecycle events: windows, decisions, reconfigurations.
+    Info = 3,
+    /// Per-subsystem activity: flushes, compactions, search milestones.
+    Debug = 4,
+    /// Per-iteration detail: GA generations, batch calls.
+    Trace = 5,
+}
+
+impl Level {
+    /// The lowercase name (`"info"`, `"debug"`, …).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+}
+
+impl std::fmt::Display for Level {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for Level {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "error" => Ok(Level::Error),
+            "warn" => Ok(Level::Warn),
+            "info" => Ok(Level::Info),
+            "debug" => Ok(Level::Debug),
+            "trace" => Ok(Level::Trace),
+            other => Err(format!(
+                "unknown level: {other} (use error|warn|info|debug|trace)"
+            )),
+        }
+    }
+}
+
+/// A typed field value attached to an event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// An unsigned integer.
+    U64(u64),
+    /// A signed integer.
+    I64(i64),
+    /// A float.
+    F64(f64),
+    /// A boolean.
+    Bool(bool),
+    /// A string.
+    Str(String),
+}
+
+impl Value {
+    /// Convenience constructor for string values.
+    pub fn str(s: impl Into<String>) -> Value {
+        Value::Str(s.into())
+    }
+}
+
+/// Whether an event is a point event or the close of a timed span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A point-in-time event.
+    Event,
+    /// A span that closed; [`Event::duration_us`] holds its length.
+    Span,
+}
+
+impl EventKind {
+    /// The lowercase name (`"event"` / `"span"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EventKind::Event => "event",
+            EventKind::Span => "span",
+        }
+    }
+}
+
+/// One structured trace record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Monotonic timestamp: microseconds since the facade's first use in
+    /// this process.
+    pub ts_us: u64,
+    /// Point event or span close.
+    pub kind: EventKind,
+    /// Severity.
+    pub level: Level,
+    /// Subsystem that emitted the event (`"engine"`, `"controller"`, …).
+    pub target: &'static str,
+    /// What happened (`"flush"`, `"decision"`, `"reconfigure"`, …).
+    pub name: &'static str,
+    /// Span duration in microseconds (span closes only).
+    pub duration_us: Option<u64>,
+    /// Key/value payload, in emission order.
+    pub fields: Vec<(&'static str, Value)>,
+}
+
+/// Receives events from the global dispatcher. Implementations must be
+/// cheap or buffer internally: [`Subscriber::event`] runs on the
+/// emitting thread.
+pub trait Subscriber: Send + Sync {
+    /// Handles one event.
+    fn event(&self, event: &Event);
+}
+
+/// `0` encodes "off"; otherwise a [`Level`] discriminant.
+static MAX_LEVEL: AtomicU8 = AtomicU8::new(0);
+static SUBSCRIBER: RwLock<Option<Arc<dyn Subscriber>>> = RwLock::new(None);
+
+/// The process-start anchor all timestamps are measured from.
+fn anchor() -> Instant {
+    static ANCHOR: OnceLock<Instant> = OnceLock::new();
+    *ANCHOR.get_or_init(Instant::now)
+}
+
+/// Microseconds since the facade's first use in this process.
+pub(crate) fn now_us() -> u64 {
+    anchor().elapsed().as_micros() as u64
+}
+
+/// Installs `subscriber` as the process-global event receiver for all
+/// events at or above (i.e. at most as verbose as) `max_level`,
+/// replacing any previous subscriber.
+pub fn set_subscriber(subscriber: Arc<dyn Subscriber>, max_level: Level) {
+    let mut slot = SUBSCRIBER.write().unwrap_or_else(|p| p.into_inner());
+    *slot = Some(subscriber);
+    MAX_LEVEL.store(max_level as u8, Ordering::SeqCst);
+}
+
+/// Removes the global subscriber; instrumentation reverts to no-ops.
+pub fn clear_subscriber() {
+    MAX_LEVEL.store(0, Ordering::SeqCst);
+    let mut slot = SUBSCRIBER.write().unwrap_or_else(|p| p.into_inner());
+    *slot = None;
+}
+
+/// Whether an event at `level` would currently be dispatched. The
+/// fast-path gate: one relaxed atomic load, `false` when no subscriber
+/// is installed. Use it to skip building expensive field values.
+#[inline]
+pub fn enabled(level: Level) -> bool {
+    level as u8 <= MAX_LEVEL.load(Ordering::Relaxed)
+}
+
+/// Dispatches an already-built event to the subscriber, re-checking the
+/// level gate.
+fn dispatch(event: &Event) {
+    if !enabled(event.level) {
+        return;
+    }
+    let guard = SUBSCRIBER.read().unwrap_or_else(|p| p.into_inner());
+    if let Some(subscriber) = guard.as_ref() {
+        subscriber.event(event);
+    }
+}
+
+/// Emits a point event with the given fields. A no-op (fields are still
+/// built by the caller — gate with [`enabled`] when that matters) unless
+/// a subscriber at `level` is installed.
+pub fn event(
+    target: &'static str,
+    name: &'static str,
+    level: Level,
+    fields: Vec<(&'static str, Value)>,
+) {
+    if !enabled(level) {
+        return;
+    }
+    dispatch(&Event {
+        ts_us: now_us(),
+        kind: EventKind::Event,
+        level,
+        target,
+        name,
+        duration_us: None,
+        fields,
+    });
+}
+
+/// Opens a timed span. Dropping the guard emits a span-close event with
+/// the measured duration; [`Span::close`] does the same with extra
+/// fields. When tracing is disabled at open time the span is inert
+/// (nothing is emitted on close, whatever the level then).
+#[must_use = "a span measures the time until it is dropped or closed"]
+pub fn span(target: &'static str, name: &'static str, level: Level) -> Span {
+    Span {
+        target,
+        name,
+        level,
+        start: enabled(level).then(Instant::now),
+    }
+}
+
+/// An in-flight timed span (see [`span`]).
+#[derive(Debug)]
+pub struct Span {
+    target: &'static str,
+    name: &'static str,
+    level: Level,
+    /// `None` when tracing was disabled at open time.
+    start: Option<Instant>,
+}
+
+impl Span {
+    /// Closes the span, attaching `fields` to the emitted event.
+    pub fn close(mut self, fields: Vec<(&'static str, Value)>) {
+        self.emit(fields);
+    }
+
+    fn emit(&mut self, fields: Vec<(&'static str, Value)>) {
+        let Some(start) = self.start.take() else {
+            return;
+        };
+        dispatch(&Event {
+            ts_us: now_us(),
+            kind: EventKind::Span,
+            level: self.level,
+            target: self.target,
+            name: self.name,
+            duration_us: Some(start.elapsed().as_micros() as u64),
+            fields,
+        });
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.emit(Vec::new());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::MemorySink;
+
+    // The global subscriber is process-wide state; every test that
+    // installs one funnels through this lock so parallel test threads
+    // cannot observe each other's subscribers.
+    fn serial() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    #[test]
+    fn disabled_by_default_and_after_clear() {
+        let _guard = serial();
+        clear_subscriber();
+        assert!(!enabled(Level::Error));
+        event("t", "n", Level::Error, vec![]);
+        let sink = Arc::new(MemorySink::new());
+        set_subscriber(sink.clone(), Level::Info);
+        assert!(enabled(Level::Info));
+        assert!(!enabled(Level::Debug), "debug is more verbose than info");
+        clear_subscriber();
+        assert!(!enabled(Level::Error));
+        event("t", "n", Level::Error, vec![]);
+        assert!(sink.events().is_empty());
+    }
+
+    #[test]
+    fn events_carry_fields_and_monotonic_timestamps() {
+        let _guard = serial();
+        let sink = Arc::new(MemorySink::new());
+        set_subscriber(sink.clone(), Level::Trace);
+        event("alpha", "one", Level::Info, vec![("k", Value::U64(7))]);
+        event(
+            "alpha",
+            "two",
+            Level::Trace,
+            vec![("s", Value::str("x")), ("f", Value::F64(0.5))],
+        );
+        clear_subscriber();
+        let events = sink.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].name, "one");
+        assert_eq!(events[0].fields, vec![("k", Value::U64(7))]);
+        assert_eq!(events[0].kind, EventKind::Event);
+        assert!(events[1].ts_us >= events[0].ts_us, "time went backwards");
+    }
+
+    #[test]
+    fn level_filter_drops_more_verbose_events() {
+        let _guard = serial();
+        let sink = Arc::new(MemorySink::new());
+        set_subscriber(sink.clone(), Level::Info);
+        event("t", "kept", Level::Info, vec![]);
+        event("t", "dropped", Level::Debug, vec![]);
+        clear_subscriber();
+        let events = sink.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].name, "kept");
+    }
+
+    #[test]
+    fn spans_time_and_close_with_fields() {
+        let _guard = serial();
+        let sink = Arc::new(MemorySink::new());
+        set_subscriber(sink.clone(), Level::Debug);
+        let s = span("t", "timed", Level::Debug);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        s.close(vec![("ok", Value::Bool(true))]);
+        let dropped = span("t", "via_drop", Level::Info);
+        drop(dropped);
+        clear_subscriber();
+        let events = sink.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].kind, EventKind::Span);
+        assert!(events[0].duration_us.expect("span duration") >= 1_000);
+        assert_eq!(events[0].fields, vec![("ok", Value::Bool(true))]);
+        assert_eq!(events[1].name, "via_drop");
+        assert_eq!(events[1].kind, EventKind::Span);
+    }
+
+    #[test]
+    fn span_opened_while_disabled_stays_inert() {
+        let _guard = serial();
+        clear_subscriber();
+        let s = span("t", "inert", Level::Info);
+        let sink = Arc::new(MemorySink::new());
+        set_subscriber(sink.clone(), Level::Trace);
+        drop(s); // was opened disabled: must not emit now
+        clear_subscriber();
+        assert!(sink.events().is_empty());
+    }
+
+    #[test]
+    fn levels_parse_and_print() {
+        for l in [
+            Level::Error,
+            Level::Warn,
+            Level::Info,
+            Level::Debug,
+            Level::Trace,
+        ] {
+            assert_eq!(l.as_str().parse::<Level>().unwrap(), l);
+        }
+        assert!("loud".parse::<Level>().is_err());
+        assert!(Level::Trace > Level::Info, "trace is more verbose");
+    }
+}

@@ -2,7 +2,9 @@
 //! out, one response frame back. Doubles as the load generator for the
 //! CLI (`rafiki client`) and the loopback tests.
 
-use crate::protocol::{BatchResult, ConfigReport, Request, Response, StatsReport, MAX_BATCH};
+use crate::protocol::{
+    BatchResult, ConfigReport, MetricsReport, Request, Response, StatsReport, MAX_BATCH,
+};
 use crate::wire::Json;
 use rafiki_stats::StreamingHistogram;
 use rafiki_workload::{Operation, OperationSource};
@@ -102,6 +104,20 @@ impl Client {
     pub fn config(&mut self) -> io::Result<ConfigReport> {
         match self.call(&Request::Config)? {
             Response::Config(report) => Ok(report),
+            Response::Error { message } => Err(io::Error::other(message)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Fetches the daemon's metrics registry snapshot (counters, gauges,
+    /// histogram summaries, and the Prometheus text exposition).
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors or a server-side `error` frame.
+    pub fn metrics(&mut self) -> io::Result<MetricsReport> {
+        match self.call(&Request::Metrics)? {
+            Response::Metrics(report) => Ok(report),
             Response::Error { message } => Err(io::Error::other(message)),
             other => Err(unexpected(&other)),
         }

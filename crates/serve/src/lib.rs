@@ -44,8 +44,8 @@ pub mod wire;
 
 pub use client::Client;
 pub use protocol::{
-    BatchResult, ConfigReport, ConfigSummary, LatencySummary, ReconfigEvent, Request, Response,
-    StatsReport, WindowActivity, MAX_BATCH,
+    BatchResult, ConfigReport, ConfigSummary, LatencySummary, MetricsHistogram, MetricsReport,
+    ParamChange, ReconfigEvent, Request, Response, StatsReport, WindowActivity, MAX_BATCH,
 };
 pub use server::{ServeConfig, ServeReport, Server};
 pub use wire::{Json, JsonError};

@@ -9,6 +9,7 @@
 //! {"type":"batch","ops":[[0,42],[1,7,800],[4,100,50]]}
 //! {"type":"stats"}
 //! {"type":"config"}
+//! {"type":"metrics"}
 //! {"type":"shutdown"}
 //! ```
 //!
@@ -56,6 +57,9 @@ pub enum Request {
     Stats,
     /// Report the active configuration and reconfiguration history.
     Config,
+    /// Report a full metrics-registry snapshot (counters, gauges,
+    /// histogram summaries) plus its Prometheus text exposition.
+    Metrics,
     /// Stop the daemon (all connections drain, the accept loop exits).
     Shutdown,
 }
@@ -100,7 +104,8 @@ pub struct LatencySummary {
 }
 
 /// Engine work completed during the most recently closed window
-/// (a [`rafiki_engine::EngineMetrics`] delta).
+/// (a [`rafiki_engine::EngineMetrics`] delta plus the window's latency
+/// quantiles).
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct WindowActivity {
     /// Reads completed in the window.
@@ -111,6 +116,11 @@ pub struct WindowActivity {
     pub flushes: u64,
     /// Compactions in the window.
     pub compactions: u64,
+    /// Median operation latency within the window, µs (0 when the
+    /// window recorded no operations; absent on pre-quantile servers).
+    pub p50_us: u64,
+    /// 99th-percentile operation latency within the window, µs.
+    pub p99_us: u64,
 }
 
 /// The `stats` response payload.
@@ -170,6 +180,17 @@ impl From<&EngineConfig> for ConfigSummary {
     }
 }
 
+/// One parameter's old→new values inside a [`ReconfigEvent`] diff.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamChange {
+    /// `cassandra.yaml`-style parameter name.
+    pub param: String,
+    /// Value before the switch (`f64` encoding of the engine catalog).
+    pub from: f64,
+    /// Value after the switch.
+    pub to: f64,
+}
+
 /// One applied reconfiguration, as reported by the `config` endpoint.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ReconfigEvent {
@@ -177,10 +198,17 @@ pub struct ReconfigEvent {
     pub window: u64,
     /// Read ratio of that window.
     pub read_ratio: f64,
-    /// Tuner-predicted throughput of the new configuration.
+    /// Tuner-predicted throughput of the new configuration at decision
+    /// time.
     pub predicted_throughput: f64,
     /// The configuration that was applied.
     pub to: ConfigSummary,
+    /// Exactly which parameters changed, old→new (empty when reported
+    /// by a pre-diff server).
+    pub diff: Vec<ParamChange>,
+    /// Wall-clock duration of the engine apply, µs (0 when reported by
+    /// a pre-diff server).
+    pub apply_us: u64,
 }
 
 /// The `config` response payload.
@@ -190,6 +218,38 @@ pub struct ConfigReport {
     pub active: ConfigSummary,
     /// Every applied reconfiguration, oldest first.
     pub events: Vec<ReconfigEvent>,
+}
+
+/// Point-in-time summary of one histogram in a `metrics` response.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MetricsHistogram {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of all recorded values (as `f64` on the wire).
+    pub sum: f64,
+    /// Exact minimum (0 when empty).
+    pub min: u64,
+    /// Median (0 when empty).
+    pub p50: u64,
+    /// 99th percentile (0 when empty).
+    pub p99: u64,
+    /// Exact maximum (0 when empty).
+    pub max: u64,
+}
+
+/// The `metrics` response payload: a full registry snapshot, each
+/// section in sorted name order, plus the equivalent Prometheus text
+/// exposition for scraping.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsReport {
+    /// `(name, value)` for every counter.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` for every gauge.
+    pub gauges: Vec<(String, f64)>,
+    /// `(name, summary)` for every histogram.
+    pub histograms: Vec<(String, MetricsHistogram)>,
+    /// The snapshot rendered in the Prometheus text exposition format.
+    pub prometheus: String,
 }
 
 /// A server-to-client frame.
@@ -206,6 +266,8 @@ pub enum Response {
     Stats(StatsReport),
     /// Configuration report.
     Config(ConfigReport),
+    /// Metrics-registry snapshot.
+    Metrics(MetricsReport),
     /// Shutdown acknowledged; the server closes the connection.
     Bye,
     /// The request failed.
@@ -239,6 +301,17 @@ fn require_str<'j>(v: &'j Json, key: &str) -> Result<&'j str, String> {
     require(v, key)?
         .as_str()
         .ok_or_else(|| format!("field {key} must be a string"))
+}
+
+/// A `u64` field that older peers may omit entirely (defaults to 0), but
+/// which must still be a non-negative integer when present.
+fn optional_u64(v: &Json, key: &str) -> Result<u64, String> {
+    match v.get(key) {
+        None => Ok(0),
+        Some(j) => j
+            .as_u64()
+            .ok_or_else(|| format!("field {key} must be a non-negative integer")),
+    }
 }
 
 /// The `kind`/`key`[/`len`] members describing one operation (shared by
@@ -463,6 +536,7 @@ impl Request {
             ]),
             Request::Stats => Json::obj(vec![("type", Json::str("stats"))]),
             Request::Config => Json::obj(vec![("type", Json::str("config"))]),
+            Request::Metrics => Json::obj(vec![("type", Json::str("metrics"))]),
             Request::Shutdown => Json::obj(vec![("type", Json::str("shutdown"))]),
         }
     }
@@ -491,6 +565,7 @@ impl Request {
             }
             "stats" => Ok(Request::Stats),
             "config" => Ok(Request::Config),
+            "metrics" => Ok(Request::Metrics),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(format!("unknown request type: {other}")),
         }
@@ -570,6 +645,8 @@ impl Response {
                     ("writes_completed", num(s.last_window.writes_completed)),
                     ("flushes", num(s.last_window.flushes)),
                     ("compactions", num(s.last_window.compactions)),
+                    ("p50_us", num(s.last_window.p50_us)),
+                    ("p99_us", num(s.last_window.p99_us)),
                 ]);
                 Json::obj(vec![
                     ("type", Json::str("stats")),
@@ -597,11 +674,70 @@ impl Response {
                                     ("read_ratio", Json::Num(e.read_ratio)),
                                     ("predicted_throughput", Json::Num(e.predicted_throughput)),
                                     ("to", e.to.to_json()),
+                                    (
+                                        "diff",
+                                        Json::Arr(
+                                            e.diff
+                                                .iter()
+                                                .map(|c| {
+                                                    Json::obj(vec![
+                                                        ("param", Json::str(&c.param)),
+                                                        ("from", Json::Num(c.from)),
+                                                        ("to", Json::Num(c.to)),
+                                                    ])
+                                                })
+                                                .collect(),
+                                        ),
+                                    ),
+                                    ("apply_us", num(e.apply_us)),
                                 ])
                             })
                             .collect(),
                     ),
                 ),
+            ]),
+            Response::Metrics(m) => Json::obj(vec![
+                ("type", Json::str("metrics")),
+                (
+                    "counters",
+                    Json::Obj(
+                        m.counters
+                            .iter()
+                            .map(|(name, value)| (name.clone(), num(*value)))
+                            .collect(),
+                    ),
+                ),
+                (
+                    "gauges",
+                    Json::Obj(
+                        m.gauges
+                            .iter()
+                            .map(|(name, value)| (name.clone(), Json::Num(*value)))
+                            .collect(),
+                    ),
+                ),
+                (
+                    "histograms",
+                    Json::Obj(
+                        m.histograms
+                            .iter()
+                            .map(|(name, h)| {
+                                (
+                                    name.clone(),
+                                    Json::obj(vec![
+                                        ("count", num(h.count)),
+                                        ("sum", Json::Num(h.sum)),
+                                        ("min", num(h.min)),
+                                        ("p50", num(h.p50)),
+                                        ("p99", num(h.p99)),
+                                        ("max", num(h.max)),
+                                    ]),
+                                )
+                            })
+                            .collect(),
+                    ),
+                ),
+                ("prometheus", Json::str(&m.prometheus)),
             ]),
             Response::Bye => Json::obj(vec![("type", Json::str("bye"))]),
             Response::Error { message } => Json::obj(vec![
@@ -669,6 +805,9 @@ impl Response {
                         writes_completed: require_u64(window, "writes_completed")?,
                         flushes: require_u64(window, "flushes")?,
                         compactions: require_u64(window, "compactions")?,
+                        // Absent on pre-quantile servers; default to 0.
+                        p50_us: optional_u64(window, "p50_us")?,
+                        p99_us: optional_u64(window, "p99_us")?,
                     },
                 }))
             }
@@ -679,15 +818,82 @@ impl Response {
                     .ok_or("field events must be an array")?
                     .iter()
                     .map(|e| {
+                        // `diff`/`apply_us` are absent in frames from
+                        // pre-diff servers; default to empty/0.
+                        let diff = match e.get("diff") {
+                            None => Vec::new(),
+                            Some(d) => d
+                                .as_arr()
+                                .ok_or("field diff must be an array")?
+                                .iter()
+                                .map(|c| {
+                                    Ok(ParamChange {
+                                        param: require_str(c, "param")?.to_string(),
+                                        from: require_f64(c, "from")?,
+                                        to: require_f64(c, "to")?,
+                                    })
+                                })
+                                .collect::<Result<Vec<_>, String>>()?,
+                        };
                         Ok(ReconfigEvent {
                             window: require_u64(e, "window")?,
                             read_ratio: require_f64(e, "read_ratio")?,
                             predicted_throughput: require_f64(e, "predicted_throughput")?,
                             to: ConfigSummary::from_json(require(e, "to")?)?,
+                            diff,
+                            apply_us: optional_u64(e, "apply_us")?,
                         })
                     })
                     .collect::<Result<Vec<_>, String>>()?;
                 Ok(Response::Config(ConfigReport { active, events }))
+            }
+            "metrics" => {
+                let counters = require(v, "counters")?
+                    .as_obj()
+                    .ok_or("field counters must be an object")?
+                    .iter()
+                    .map(|(name, value)| {
+                        let value = value
+                            .as_u64()
+                            .ok_or_else(|| format!("counter {name} must be an integer"))?;
+                        Ok((name.clone(), value))
+                    })
+                    .collect::<Result<Vec<_>, String>>()?;
+                let gauges = require(v, "gauges")?
+                    .as_obj()
+                    .ok_or("field gauges must be an object")?
+                    .iter()
+                    .map(|(name, value)| {
+                        let value = value
+                            .as_f64()
+                            .ok_or_else(|| format!("gauge {name} must be a number"))?;
+                        Ok((name.clone(), value))
+                    })
+                    .collect::<Result<Vec<_>, String>>()?;
+                let histograms = require(v, "histograms")?
+                    .as_obj()
+                    .ok_or("field histograms must be an object")?
+                    .iter()
+                    .map(|(name, h)| {
+                        Ok((
+                            name.clone(),
+                            MetricsHistogram {
+                                count: require_u64(h, "count")?,
+                                sum: require_f64(h, "sum")?,
+                                min: require_u64(h, "min")?,
+                                p50: require_u64(h, "p50")?,
+                                p99: require_u64(h, "p99")?,
+                                max: require_u64(h, "max")?,
+                            },
+                        ))
+                    })
+                    .collect::<Result<Vec<_>, String>>()?;
+                Ok(Response::Metrics(MetricsReport {
+                    counters,
+                    gauges,
+                    histograms,
+                    prometheus: require_str(v, "prometheus")?.to_string(),
+                }))
             }
             "bye" => Ok(Response::Bye),
             "error" => Ok(Response::Error {
@@ -712,6 +918,7 @@ mod tests {
             Request::Op(Operation::scan(Key(100), 50)),
             Request::Stats,
             Request::Config,
+            Request::Metrics,
             Request::Shutdown,
         ];
         for frame in frames {
@@ -865,6 +1072,8 @@ mod tests {
                     writes_completed: 200,
                     flushes: 2,
                     compactions: 1,
+                    p50_us: 640,
+                    p99_us: 2_100,
                 },
             }),
             Response::Stats(StatsReport::default()),
@@ -875,8 +1084,41 @@ mod tests {
                     read_ratio: 0.1,
                     predicted_throughput: 15_000.0,
                     to: summary,
+                    diff: vec![
+                        ParamChange {
+                            param: "concurrent_writes".to_string(),
+                            from: 32.0,
+                            to: 64.0,
+                        },
+                        ParamChange {
+                            param: "file_cache_size_mb".to_string(),
+                            from: 512.0,
+                            to: 1024.0,
+                        },
+                    ],
+                    apply_us: 87,
                 }],
             }),
+            Response::Metrics(MetricsReport {
+                counters: vec![
+                    ("serve_ops_total".to_string(), 12_000),
+                    ("serve_windows_closed_total".to_string(), 12),
+                ],
+                gauges: vec![("serve_read_ratio".to_string(), 0.83)],
+                histograms: vec![(
+                    "serve_op_latency_us".to_string(),
+                    MetricsHistogram {
+                        count: 12_000,
+                        sum: 9_747_000.0,
+                        min: 11,
+                        p50: 700,
+                        p99: 3_200,
+                        max: 9_000,
+                    },
+                )],
+                prometheus: "# TYPE serve_ops_total counter\nserve_ops_total 12000\n".to_string(),
+            }),
+            Response::Metrics(MetricsReport::default()),
             Response::Bye,
             Response::Error {
                 message: "scan needs len >= 1".to_string(),
@@ -887,6 +1129,40 @@ mod tests {
             let back = Response::from_json(&Json::parse(&line).unwrap()).unwrap();
             assert_eq!(back, frame, "{line}");
         }
+    }
+
+    #[test]
+    fn pre_quantile_and_pre_diff_frames_still_decode() {
+        // A `stats` frame from a server that predates window quantiles.
+        let stats = r#"{"type":"stats","operations":10,"read_ratio":0.5,
+            "krd_mean":null,"windows_closed":1,"reoptimizations":0,
+            "reconfigurations":0,
+            "latency":{"count":10,"mean_us":5.0,"p50_us":4,"p95_us":9,
+                       "p99_us":9,"max_us":9},
+            "last_window":{"reads_completed":5,"writes_completed":5,
+                           "flushes":0,"compactions":0}}"#;
+        let Response::Stats(report) = Response::from_json(&Json::parse(stats).unwrap()).unwrap()
+        else {
+            panic!("expected stats");
+        };
+        assert_eq!(report.last_window.p50_us, 0);
+        assert_eq!(report.last_window.p99_us, 0);
+
+        // A `config` frame from a server that predates reconfig diffs.
+        let to = ConfigSummary::from(&EngineConfig::default())
+            .to_json()
+            .encode();
+        let config = format!(
+            r#"{{"type":"config","active":{to},"events":[
+                {{"window":2,"read_ratio":0.9,
+                  "predicted_throughput":12000.0,"to":{to}}}]}}"#
+        );
+        let Response::Config(report) = Response::from_json(&Json::parse(&config).unwrap()).unwrap()
+        else {
+            panic!("expected config");
+        };
+        assert!(report.events[0].diff.is_empty());
+        assert_eq!(report.events[0].apply_us, 0);
     }
 
     #[test]

@@ -25,18 +25,20 @@
 //! hold the lock.
 
 use crate::protocol::{
-    BatchResult, ConfigReport, ConfigSummary, LatencySummary, ReconfigEvent, Request, Response,
-    StatsReport, WindowActivity,
+    BatchResult, ConfigReport, ConfigSummary, LatencySummary, MetricsHistogram, MetricsReport,
+    ParamChange, ReconfigEvent, Request, Response, StatsReport, WindowActivity,
 };
 use crate::wire::Json;
 use rafiki::{ControllerConfig, OnlineController, RafikiTuner};
-use rafiki_engine::{Engine, EngineMetrics, OpCompletion, ServerSpec};
+use rafiki_engine::{Engine, EngineMetrics, OpCompletion, ServerSpec, SimTime};
+use rafiki_obs as obs;
+use rafiki_obs::{Counter, Gauge, HistogramHandle, Registry, Value};
 use rafiki_stats::StreamingHistogram;
 use rafiki_workload::{OnlineCharacterizer, Operation, WindowSummary};
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Mutex, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Duration;
 
 /// How often blocked reads wake up to check the shutdown flag.
@@ -110,9 +112,46 @@ struct Shared<'t> {
     reoptimizations: u64,
     windows_closed: u64,
     window_start_metrics: EngineMetrics,
+    window_start_clock: SimTime,
+    /// Latencies of the window currently filling; reset at each close.
+    window_histogram: StreamingHistogram,
     last_window: WindowActivity,
     next_token: u64,
     completions: Vec<OpCompletion>,
+    metrics: ServeMetrics,
+}
+
+/// The daemon's introspection registry plus cached handles for the
+/// metrics touched on the hot path.
+///
+/// All updates happen under the shared mutex, in the same critical
+/// sections that update the `stats` bookkeeping — so a `metrics` frame
+/// and a `stats` frame observed back-to-back by one client agree
+/// exactly on operation and window counts.
+struct ServeMetrics {
+    registry: Registry,
+    ops_total: Arc<Counter>,
+    windows_closed_total: Arc<Counter>,
+    reoptimizations_total: Arc<Counter>,
+    reconfigurations_total: Arc<Counter>,
+    read_ratio: Arc<Gauge>,
+    /// Completed-window latencies (the filling window merges in at close).
+    latency_us: Arc<HistogramHandle>,
+}
+
+impl ServeMetrics {
+    fn new() -> ServeMetrics {
+        let registry = Registry::new();
+        ServeMetrics {
+            ops_total: registry.counter("serve_ops_total"),
+            windows_closed_total: registry.counter("serve_windows_closed_total"),
+            reoptimizations_total: registry.counter("serve_reoptimizations_total"),
+            reconfigurations_total: registry.counter("serve_reconfigurations_total"),
+            read_ratio: registry.gauge("serve_read_ratio"),
+            latency_us: registry.histogram("serve_op_latency_us"),
+            registry,
+        }
+    }
 }
 
 impl Server {
@@ -171,6 +210,7 @@ impl Server {
             engine.preload(self.cfg.preload_keys, self.cfg.preload_payload);
         }
         let window_start_metrics = *engine.metrics();
+        let window_start_clock = engine.clock();
         let shared = Mutex::new(Shared {
             engine,
             characterizer: OnlineCharacterizer::new(self.cfg.window_ops, self.cfg.krd_capacity),
@@ -180,9 +220,12 @@ impl Server {
             reoptimizations: 0,
             windows_closed: 0,
             window_start_metrics,
+            window_start_clock,
+            window_histogram: StreamingHistogram::new(),
             last_window: WindowActivity::default(),
             next_token: 0,
             completions: Vec::new(),
+            metrics: ServeMetrics::new(),
         });
 
         self.listener.set_nonblocking(true)?;
@@ -383,6 +426,10 @@ fn respond(
                 events: s.events.clone(),
             })
         }
+        Request::Metrics => {
+            let s = lock(shared);
+            Response::Metrics(metrics_of(&s))
+        }
         Request::Shutdown => {
             stop.store(true, Ordering::SeqCst);
             Response::Bye
@@ -410,6 +457,8 @@ fn execute_op(s: &mut Shared<'_>, op: Operation) -> u64 {
             }
         }
     };
+    s.metrics.ops_total.inc();
+    s.window_histogram.record(latency_us);
     s.histogram_window_hook(op);
     latency_us
 }
@@ -425,6 +474,8 @@ impl Shared<'_> {
 
     fn close_window(&mut self, window: WindowSummary) {
         self.windows_closed += 1;
+        self.metrics.windows_closed_total.inc();
+        self.metrics.read_ratio.set(window.read_ratio);
         let snapshot = *self.engine.metrics();
         let delta = snapshot.delta(&self.window_start_metrics);
         self.window_start_metrics = snapshot;
@@ -433,7 +484,40 @@ impl Shared<'_> {
             writes_completed: delta.writes_completed,
             flushes: delta.flushes,
             compactions: delta.compactions,
+            p50_us: self.window_histogram.quantile(0.5).unwrap_or(0),
+            p99_us: self.window_histogram.quantile(0.99).unwrap_or(0),
         };
+        // Completed-window latencies flow into the registry histogram;
+        // the per-window one restarts empty for the next window.
+        self.metrics.latency_us.merge_from(&self.window_histogram);
+        self.window_histogram = StreamingHistogram::new();
+        // Observed throughput over the window on the simulated clock.
+        let now = self.engine.clock();
+        let elapsed_s = now.0.saturating_sub(self.window_start_clock.0) as f64 / 1e9;
+        let window_ops = delta.reads_completed + delta.writes_completed;
+        let observed_throughput = if elapsed_s > 0.0 {
+            window_ops as f64 / elapsed_s
+        } else {
+            0.0
+        };
+        self.window_start_clock = now;
+        if obs::enabled(obs::Level::Info) {
+            obs::event(
+                "serve",
+                "window_close",
+                obs::Level::Info,
+                vec![
+                    ("window", Value::U64(window.index as u64)),
+                    ("read_ratio", Value::F64(window.read_ratio)),
+                    ("ops", Value::U64(window_ops)),
+                    ("observed_throughput", Value::F64(observed_throughput)),
+                    ("p50_us", Value::U64(self.last_window.p50_us)),
+                    ("p99_us", Value::U64(self.last_window.p99_us)),
+                    ("flushes", Value::U64(delta.flushes)),
+                    ("compactions", Value::U64(delta.compactions)),
+                ],
+            );
+        }
         // The tuner was checked at construction, so the controller cannot
         // fail here; a defensive skip keeps the daemon serving regardless.
         let Ok(decision) = self
@@ -444,19 +528,59 @@ impl Shared<'_> {
         };
         if decision.reoptimized {
             self.reoptimizations += 1;
+            self.metrics.reoptimizations_total.inc();
         }
         if decision.switched {
             let cfg = self.controller.active_config().clone();
+            // Every foreground op is stepped to completion under the lock,
+            // so the engine is quiescent here and the swap is safe.
+            let outcome = self.engine.reconfigure(cfg);
+            self.metrics.reconfigurations_total.inc();
             self.events.push(ReconfigEvent {
                 window: window.index as u64,
                 read_ratio: window.read_ratio,
                 predicted_throughput: decision.predicted_throughput,
-                to: ConfigSummary::from(&cfg),
+                to: ConfigSummary::from(self.engine.config()),
+                diff: outcome
+                    .changed
+                    .iter()
+                    .map(|c| ParamChange {
+                        param: c.name.to_string(),
+                        from: c.from,
+                        to: c.to,
+                    })
+                    .collect(),
+                apply_us: outcome.apply_us,
             });
-            // Every foreground op is stepped to completion under the lock,
-            // so the engine is quiescent here and the swap is safe.
-            self.engine.reconfigure(cfg);
         }
+    }
+}
+
+/// Snapshots the registry into the wire-level report.
+fn metrics_of(s: &Shared<'_>) -> MetricsReport {
+    let snapshot = s.metrics.registry.snapshot();
+    let prometheus = snapshot.prometheus_text();
+    MetricsReport {
+        counters: snapshot.counters,
+        gauges: snapshot.gauges,
+        histograms: snapshot
+            .histograms
+            .into_iter()
+            .map(|(name, h)| {
+                (
+                    name,
+                    MetricsHistogram {
+                        count: h.count,
+                        sum: h.sum as f64,
+                        min: h.min,
+                        p50: h.p50,
+                        p99: h.p99,
+                        max: h.max,
+                    },
+                )
+            })
+            .collect(),
+        prometheus,
     }
 }
 

@@ -104,6 +104,14 @@ impl Json {
         }
     }
 
+    /// The value's members as an ordered slice of pairs (objects only).
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(members) => Some(members),
+            _ => None,
+        }
+    }
+
     /// Encodes the value as compact single-line JSON.
     ///
     /// Allocates a fresh `String`; hot paths (the daemon's per-connection

@@ -1,20 +1,68 @@
 //! End-to-end loopback test: a real daemon on an ephemeral port, a real
 //! client streaming a regime shift over TCP, and a live reconfiguration
-//! observed through the wire protocol.
+//! observed through the wire protocol — with the full tracing pipeline
+//! installed, so the run also validates the JSONL trace file and the
+//! `metrics` introspection frame against the `stats` ground truth.
 
 use rafiki::{ControllerConfig, EvalContext, RafikiTuner, TunerConfig};
 use rafiki_engine::EngineConfig;
-use rafiki_serve::{Client, ConfigSummary, ServeConfig, Server};
+use rafiki_obs::{EventKind, JsonlSink, Level, MemorySink, TeeSink};
+use rafiki_serve::{Client, ConfigSummary, Json, ServeConfig, Server};
 use rafiki_workload::{
     characterize, Operation, OperationSource, ReplaySource, WorkloadGenerator, WorkloadSpec,
 };
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
+use std::path::PathBuf;
 use std::sync::mpsc;
+use std::sync::Arc;
 use std::time::Duration;
 
 const WINDOW_OPS: usize = 400;
 const PHASE_WINDOWS: usize = 3;
+
+/// Where the JSONL trace lands; CI uploads this as an artifact.
+fn trace_path() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/experiments");
+    std::fs::create_dir_all(&dir).expect("create experiments dir");
+    dir.join("loopback_trace.jsonl")
+}
+
+/// Validates the written trace file: every line must parse as a JSON
+/// object with the mandatory envelope keys, there must be at least one
+/// `engine/reconfigure` span (with a duration), and exactly one
+/// `controller/decision` event per closed window.
+fn trace_check(path: &std::path::Path, windows_closed: u64) {
+    let text = std::fs::read_to_string(path).expect("read trace file");
+    let mut decisions = 0u64;
+    let mut reconfigure_spans = 0u64;
+    let mut lines = 0u64;
+    for line in text.lines() {
+        lines += 1;
+        let v = Json::parse(line).unwrap_or_else(|e| panic!("bad trace line {line}: {e}"));
+        for key in ["ts_us", "kind", "level", "target", "name"] {
+            assert!(v.get(key).is_some(), "trace line missing {key}: {line}");
+        }
+        let target = v.get("target").and_then(Json::as_str).unwrap();
+        let name = v.get("name").and_then(Json::as_str).unwrap();
+        let kind = v.get("kind").and_then(Json::as_str).unwrap();
+        if target == "controller" && name == "decision" {
+            decisions += 1;
+            assert!(v.get("rationale").is_some(), "decision without rationale");
+        }
+        if target == "engine" && name == "reconfigure" {
+            assert_eq!(kind, "span");
+            assert!(v.get("duration_us").is_some(), "span without duration");
+            reconfigure_spans += 1;
+        }
+    }
+    assert!(lines > 0, "trace file is empty");
+    assert_eq!(
+        decisions, windows_closed,
+        "one controller decision per closed window"
+    );
+    assert!(reconfigure_spans >= 1, "no reconfigure span in trace");
+}
 
 /// The whole scenario runs under a generous watchdog so a wedged socket
 /// or a lost frame fails the test instead of hanging CI.
@@ -33,6 +81,16 @@ fn loopback_regime_shift_retunes_the_live_engine() {
 }
 
 fn scenario() {
+    // Full-detail tracing: JSONL to disk (the CI artifact) plus an
+    // in-memory copy for direct assertions.
+    let trace_file = trace_path();
+    let jsonl = Arc::new(JsonlSink::create(&trace_file).expect("create trace file"));
+    let memory = Arc::new(MemorySink::new());
+    rafiki_obs::set_subscriber(
+        Arc::new(TeeSink::new(vec![jsonl, memory.clone()])),
+        Level::Trace,
+    );
+
     let mut tuner = RafikiTuner::new(EvalContext::small(), TunerConfig::fast());
     tuner.fit().expect("tuner fit");
     let serve_cfg = ServeConfig {
@@ -115,6 +173,48 @@ fn scenario() {
             stats.last_window.reads_completed + stats.last_window.writes_completed,
             WINDOW_OPS as u64
         );
+        // The last window's own latency quantiles are present and ordered.
+        let w = stats.last_window;
+        assert!(w.p50_us > 0 && w.p50_us <= w.p99_us);
+        assert!(w.p99_us <= stats.latency.max_us);
+
+        // The `metrics` frame agrees with `stats` exactly: both are
+        // maintained under the same lock, so the counts cannot drift.
+        let metrics = client.metrics().expect("metrics");
+        let counter = |name: &str| {
+            metrics
+                .counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .unwrap_or_else(|| panic!("missing counter {name}"))
+                .1
+        };
+        assert_eq!(counter("serve_ops_total"), stats.operations);
+        assert_eq!(counter("serve_windows_closed_total"), stats.windows_closed);
+        assert_eq!(
+            counter("serve_reoptimizations_total"),
+            stats.reoptimizations
+        );
+        assert_eq!(
+            counter("serve_reconfigurations_total"),
+            stats.reconfigurations
+        );
+        // All ops fell into closed windows here, so the registry's
+        // latency histogram (fed at window close) has seen every one.
+        let (_, lat) = metrics
+            .histograms
+            .iter()
+            .find(|(n, _)| n == "serve_op_latency_us")
+            .expect("latency histogram");
+        assert_eq!(lat.count, total_ops);
+        assert!(lat.min <= lat.p50 && lat.p50 <= lat.p99 && lat.p99 <= lat.max);
+        // The Prometheus exposition carries the same numbers.
+        assert!(metrics
+            .prometheus
+            .contains(&format!("serve_ops_total {}", stats.operations)));
+        assert!(metrics
+            .prometheus
+            .contains("# TYPE serve_ops_total counter"));
 
         let report = client.config().expect("config after shift");
         assert_eq!(report.events.len() as u64, stats.reconfigurations);
@@ -125,6 +225,14 @@ fn scenario() {
         let last = report.events.last().expect("at least one event");
         assert_eq!(report.active, last.to, "active config is the last applied");
         assert!(last.predicted_throughput > 0.0);
+        // Every applied switch names the parameters it changed.
+        for e in &report.events {
+            assert!(!e.diff.is_empty(), "a switch with an empty diff");
+            for c in &e.diff {
+                assert!(!c.param.is_empty());
+                assert_ne!(c.from, c.to, "{} did not change", c.param);
+            }
+        }
 
         // A second concurrent connection sees the same aggregate state.
         let mut other = Client::connect(addr).expect("second client");
@@ -163,5 +271,38 @@ fn scenario() {
         assert_eq!(report.windows_closed, (2 * PHASE_WINDOWS) as u64);
         assert_eq!(report.reconfigurations, stats.reconfigurations);
         assert!(report.reoptimizations >= stats.reoptimizations);
+
+        // --- Trace assertions (the server is quiesced; everything the
+        // pipeline emitted has reached the sinks). ---
+        let events = memory.events();
+        let decisions: Vec<_> = events
+            .iter()
+            .filter(|e| e.target == "controller" && e.name == "decision")
+            .collect();
+        assert_eq!(
+            decisions.len() as u64,
+            report.windows_closed,
+            "one controller decision trace per closed window"
+        );
+        let closes = events
+            .iter()
+            .filter(|e| e.target == "serve" && e.name == "window_close")
+            .count() as u64;
+        assert_eq!(closes, report.windows_closed);
+        let reconfigures = events
+            .iter()
+            .filter(|e| {
+                e.target == "engine" && e.name == "reconfigure" && e.kind == EventKind::Span
+            })
+            .count() as u64;
+        assert!(
+            reconfigures >= report.reconfigurations && report.reconfigurations >= 1,
+            "expected >= {} reconfigure spans, saw {reconfigures}",
+            report.reconfigurations
+        );
+
+        // The on-disk JSONL trace survives the same scrutiny.
+        rafiki_obs::clear_subscriber();
+        trace_check(&trace_file, report.windows_closed);
     });
 }

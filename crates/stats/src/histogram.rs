@@ -202,6 +202,13 @@ impl StreamingHistogram {
         self.total
     }
 
+    /// Exact sum of all recorded values (zero when empty). Exposed for
+    /// Prometheus-style `_sum` exposition, where the scraper derives
+    /// rates from the running sum.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
     /// Exact arithmetic mean of the recorded values (`None` when empty).
     pub fn mean(&self) -> Option<f64> {
         if self.total == 0 {
@@ -433,6 +440,64 @@ mod tests {
         let mut empty = StreamingHistogram::new();
         empty.merge(&snapshot);
         assert_eq!(empty, snapshot);
+    }
+
+    #[test]
+    fn streaming_merge_of_two_empties_stays_usable() {
+        // The empty-histogram min sentinel (u64::MAX) must not leak
+        // through a merge of two empties into later recordings.
+        let mut a = StreamingHistogram::new();
+        a.merge(&StreamingHistogram::new());
+        assert_eq!(a.total(), 0);
+        assert_eq!(a.min(), None);
+        assert_eq!(a.max(), None);
+        assert_eq!(a.quantile(0.5), None);
+        a.record(9);
+        assert_eq!(a.min(), Some(9));
+        assert_eq!(a.max(), Some(9));
+    }
+
+    #[test]
+    fn streaming_merge_handles_mismatched_bucket_arrays() {
+        // A histogram of tiny values has a short bucket array; one that
+        // saw u64::MAX has the longest possible. Merging must work in
+        // both directions and agree with recording the union directly.
+        let mut small = StreamingHistogram::new();
+        small.record(3);
+        small.record(100);
+        let mut huge = StreamingHistogram::new();
+        huge.record(u64::MAX);
+        huge.record(1 << 40);
+
+        let mut union = StreamingHistogram::new();
+        for v in [3, 100, u64::MAX, 1 << 40] {
+            union.record(v);
+        }
+        let mut small_into_huge = huge.clone();
+        small_into_huge.merge(&small);
+        let mut huge_into_small = small.clone();
+        huge_into_small.merge(&huge);
+        assert_eq!(small_into_huge, union);
+        assert_eq!(huge_into_small, union);
+        assert_eq!(union.min(), Some(3));
+        assert_eq!(union.max(), Some(u64::MAX));
+        assert_eq!(union.quantile(1.0), Some(u64::MAX));
+    }
+
+    #[test]
+    fn streaming_merge_accumulates_the_exact_sum() {
+        // `sum` is u128 so even repeated u64::MAX observations merge
+        // without overflow, keeping `_sum` exposition and mean() exact.
+        let mut a = StreamingHistogram::new();
+        a.record(u64::MAX);
+        a.record(u64::MAX);
+        let mut b = StreamingHistogram::new();
+        b.record(1);
+        b.merge(&a);
+        assert_eq!(b.sum(), 2 * (u64::MAX as u128) + 1);
+        assert_eq!(b.total(), 3);
+        let expected_mean = (2.0 * u64::MAX as f64 + 1.0) / 3.0;
+        assert!((b.mean().unwrap() - expected_mean).abs() < 1e3);
     }
 
     #[test]
