@@ -3,13 +3,18 @@
 //! Measures loopback throughput and frame round-trip latency of the
 //! online tuning daemon as a function of client count and frame size
 //! (batch 1 = the unbatched one-op-per-frame protocol, batch 32/256 =
-//! the multi-op `batch` frame added for exactly this comparison), and
-//! records the comparison in `BENCH_serve.json` (same conventions as
-//! `BENCH_grid.json` / `BENCH_search.json`).
+//! the multi-op `batch` frame added for exactly this comparison), plus
+//! a shard-count sweep (1, 2, 4 engine shards at fixed client count and
+//! frame size), and records both in `BENCH_serve.json` (same
+//! conventions as `BENCH_grid.json` / `BENCH_search.json`).
 //!
 //! The serve window is set larger than the measured stream so the
 //! controller never re-optimizes mid-measurement: this benchmark times
-//! the wire path (framing, syscalls, locking), not the GA.
+//! the wire path (framing, syscalls, routing), not the GA. The shard
+//! sweep records `host_cores`: shard workers are real threads, so
+//! multi-shard throughput can only beat single-shard on a multi-core
+//! host — on a single core the sweep documents the routing overhead
+//! instead, and the record carries a note saying so.
 
 use super::Finding;
 use rafiki::{CollectionPlan, ControllerConfig, EvalContext, RafikiTuner, TunerConfig};
@@ -25,10 +30,13 @@ const READ_RATIO: f64 = 0.9;
 const PRELOAD_KEYS: u64 = 5_000;
 /// Frame sizes compared: unbatched baseline vs two batched settings.
 const BATCHES: [usize; 3] = [1, 32, 256];
+/// Shard counts swept at fixed client count and frame size.
+const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
 
-/// One measured `(clients, batch)` cell.
+/// One measured `(shards, clients, batch)` cell.
 #[derive(Debug, Clone, Copy)]
 struct Cell {
+    shards: usize,
     clients: usize,
     batch: usize,
     total_ops: usize,
@@ -124,8 +132,14 @@ fn quantile_us(sorted_ns: &[u64], q: f64) -> u64 {
     sorted_ns[idx] / 1_000
 }
 
-/// Measures one `(clients, batch)` cell against a fresh daemon.
-fn measure(clients: usize, batch: usize, ops_per_client: usize, warmup_ops: usize) -> Cell {
+/// Measures one `(shards, clients, batch)` cell against a fresh daemon.
+fn measure(
+    shards: usize,
+    clients: usize,
+    batch: usize,
+    ops_per_client: usize,
+    warmup_ops: usize,
+) -> Cell {
     let total_ops = clients * ops_per_client;
     let cfg = ServeConfig {
         // Never close a window during warmup or measurement.
@@ -134,6 +148,8 @@ fn measure(clients: usize, batch: usize, ops_per_client: usize, warmup_ops: usiz
         controller: ControllerConfig::default(),
         preload_keys: PRELOAD_KEYS,
         preload_payload: 200,
+        shards,
+        ..ServeConfig::default()
     };
     let server = Server::bind("127.0.0.1:0", fitted_tuner(), cfg).expect("bench bind");
     let addr = server.local_addr().expect("bench local addr");
@@ -167,6 +183,7 @@ fn measure(clients: usize, batch: usize, ops_per_client: usize, warmup_ops: usiz
 
     frames_ns.sort_unstable();
     Cell {
+        shards,
         clients,
         batch,
         total_ops,
@@ -188,7 +205,7 @@ pub fn run(quick: bool) -> Vec<Finding> {
     let mut cells: Vec<Cell> = Vec::new();
     for &clients in client_counts {
         for batch in BATCHES {
-            let cell = measure(clients, batch, ops_per_client, warmup_ops);
+            let cell = measure(1, clients, batch, ops_per_client, warmup_ops);
             println!(
                 "[serve] {} client(s), batch {:>3}: {:>9.0} ops/s, \
                  frame p50 {} us, p99 {} us",
@@ -197,6 +214,40 @@ pub fn run(quick: bool) -> Vec<Finding> {
             cells.push(cell);
         }
     }
+
+    // The shard-count sweep: same wire settings (widest concurrency,
+    // biggest frames), varying only the number of engine shards.
+    let shard_clients = *client_counts.last().expect("client counts");
+    let mut shard_cells: Vec<Cell> = Vec::new();
+    for shards in SHARD_COUNTS {
+        let cell = measure(shards, shard_clients, 256, ops_per_client, warmup_ops);
+        println!(
+            "[serve] {} shard(s), {} client(s), batch 256: {:>9.0} ops/s",
+            cell.shards, cell.clients, cell.ops_per_sec
+        );
+        shard_cells.push(cell);
+    }
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let single_shard = shard_cells[0].ops_per_sec;
+    let best_multi = shard_cells[1..]
+        .iter()
+        .map(|c| c.ops_per_sec)
+        .fold(0.0f64, f64::max);
+    let multi_shard_note = if best_multi > single_shard {
+        format!(
+            "multi-shard beats single-shard ({:.0} vs {:.0} ops/s) on this \
+             {host_cores}-core host",
+            best_multi, single_shard
+        )
+    } else {
+        format!(
+            "single-core constraint: host has {host_cores} core(s), so the shard worker \
+             threads serialize and multi-shard throughput ({:.0} ops/s best) cannot beat \
+             single-shard ({:.0} ops/s); the sweep documents routing overhead, not scaling",
+            best_multi, single_shard
+        )
+    };
+    println!("[serve] shard sweep on {host_cores} core(s): {multi_shard_note}");
 
     // Headline ratio per client count: batch=256 throughput over the
     // unbatched baseline at the same concurrency.
@@ -221,21 +272,41 @@ pub fn run(quick: bool) -> Vec<Finding> {
         "  \"read_ratio\": {READ_RATIO},\n  \"ops_per_client\": {ops_per_client},\n  \
          \"warmup_ops\": {warmup_ops},\n  \"cells\": [\n"
     ));
-    for (i, c) in cells.iter().enumerate() {
-        json.push_str(&format!(
-            "    {{\"clients\": {}, \"batch\": {}, \"total_ops\": {}, \"wall_secs\": {:.6}, \
-             \"ops_per_sec\": {:.0}, \"frame_p50_us\": {}, \"frame_p99_us\": {}}}{}\n",
+    let cell_json = |c: &Cell| {
+        format!(
+            "{{\"shards\": {}, \"clients\": {}, \"batch\": {}, \"total_ops\": {}, \
+             \"wall_secs\": {:.6}, \"ops_per_sec\": {:.0}, \"frame_p50_us\": {}, \
+             \"frame_p99_us\": {}}}",
+            c.shards,
             c.clients,
             c.batch,
             c.total_ops,
             c.wall_secs,
             c.ops_per_sec,
             c.frame_p50_us,
-            c.frame_p99_us,
+            c.frame_p99_us
+        )
+    };
+    for (i, c) in cells.iter().enumerate() {
+        json.push_str(&format!(
+            "    {}{}\n",
+            cell_json(c),
             if i + 1 < cells.len() { "," } else { "" }
         ));
     }
-    json.push_str("  ],\n  \"speedup_batch256_vs_unbatched\": [\n");
+    json.push_str("  ],\n  \"shard_cells\": [\n");
+    for (i, c) in shard_cells.iter().enumerate() {
+        json.push_str(&format!(
+            "    {}{}\n",
+            cell_json(c),
+            if i + 1 < shard_cells.len() { "," } else { "" }
+        ));
+    }
+    json.push_str(&format!(
+        "  ],\n  \"host_cores\": {host_cores},\n  \"multi_shard_note\": \"{}\",\n",
+        multi_shard_note.replace('"', "'")
+    ));
+    json.push_str("  \"speedup_batch256_vs_unbatched\": [\n");
     for (i, (clients, ratio)) in speedups.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"clients\": {clients}, \"ratio\": {ratio:.2}}}{}\n",
@@ -271,6 +342,20 @@ pub fn run(quick: bool) -> Vec<Finding> {
                     base.frame_p50_us, big.frame_p50_us
                 )
             },
+        ),
+        Finding::new(
+            "serve shard scaling",
+            "throughput for 1/2/4 engine shards at fixed wire settings",
+            "(analogue of the paper's multi-server deployment, Table 3)",
+            format!(
+                "{} on {host_cores} core(s): {}",
+                shard_cells
+                    .iter()
+                    .map(|c| format!("{} shards {:.0} ops/s", c.shards, c.ops_per_sec))
+                    .collect::<Vec<_>>()
+                    .join(", "),
+                multi_shard_note
+            ),
         ),
     ]
 }

@@ -40,25 +40,37 @@ USAGE:
   rafiki-tune ycsb    [--preset A] [--seconds 3]
       Benchmark a standard YCSB preset on the default configuration.
   rafiki-tune serve   [--addr 127.0.0.1:7878] [--window 1000]
-                      [--proactive] [--quick] [--trace FILE]
+                      [--shards 1] [--lockstep] [--proactive] [--quick]
+                      [--trace FILE]
                       [--log-level error|warn|info|debug|trace]
       Fit the tuner, then run the online tuning daemon until shutdown.
+      --shards N runs N engine shards behind one consistent-hash
+      router, each tuned independently (or together with --lockstep).
       --trace writes every event as JSONL to FILE; --log-level prints
       human-readable lines to stderr at that severity and up.
   rafiki-tune client  [--addr 127.0.0.1:7878] [--rr 0.9] [--ops 2000]
-                      [--batch 64] [--seed 0] | --stats | --metrics
-                      | --shutdown
+                      [--batch 64] [--inflight 1] [--seed 0]
+                      | --stats | --metrics | --shutdown
       Stream generated operations at a daemon (framed --batch ops per
-      request; --batch 1 sends one op per frame) and print the latency
-      digest, or just query / stop it. --metrics prints the daemon's
-      Prometheus text exposition.
+      request; --batch 1 sends one op per frame; --inflight N pipelines
+      up to N frames on the wire) and print the latency digest, or just
+      query / stop it. --metrics prints the daemon's Prometheus text
+      exposition.
 
-Boolean flags (--quick, --proactive, --stats, --metrics, --shutdown,
---help) take no value; --flag=value works for every flag.
+Boolean flags (--quick, --proactive, --lockstep, --stats, --metrics,
+--shutdown, --help) take no value; --flag=value works for every flag.
 ";
 
 /// Flags that take no value (`--quick` rather than `--quick true`).
-const BOOL_FLAGS: &[&str] = &["help", "quick", "proactive", "stats", "metrics", "shutdown"];
+const BOOL_FLAGS: &[&str] = &[
+    "help",
+    "quick",
+    "proactive",
+    "lockstep",
+    "stats",
+    "metrics",
+    "shutdown",
+];
 
 fn main() {
     let args = match Args::parse(std::env::args().skip(1), BOOL_FLAGS) {
@@ -353,13 +365,22 @@ fn cmd_serve(args: &Args) -> Result<(), ArgError> {
             proactive: args.has("proactive"),
             ..ControllerConfig::default()
         },
+        shards: args.num_or("shards", 1usize)?.max(1),
+        lockstep: args.has("lockstep"),
         ..ServeConfig::default()
     };
     let server = Server::bind(addr.as_str(), tuner, cfg)
         .map_err(|e| ArgError(format!("bind {addr}: {e}")))?;
     eprintln!(
-        "serving on {} — one window per {} ops{}; send {{\"type\":\"shutdown\"}} to stop",
+        "serving on {} — {} shard{} ({}), one window per {} ops{}; send {{\"type\":\"shutdown\"}} to stop",
         server.local_addr().map_err(|e| ArgError(e.to_string()))?,
+        cfg.shards,
+        if cfg.shards == 1 { "" } else { "s" },
+        if cfg.lockstep {
+            "lockstep tuning"
+        } else {
+            "independent tuning"
+        },
         cfg.window_ops,
         if cfg.controller.proactive {
             ", proactive"
@@ -396,13 +417,14 @@ fn cmd_client(args: &Args) -> Result<(), ArgError> {
         let rr: f64 = args.num_or("rr", 0.9)?;
         let ops: usize = args.num_or("ops", 2_000usize)?;
         let batch: usize = args.num_or("batch", rafiki_serve::client::DRIVE_BATCH)?;
+        let inflight: usize = args.num_or("inflight", 1usize)?;
         let spec = WorkloadSpec {
             initial_keys: 20_000,
             ..WorkloadSpec::with_read_ratio(rr)
         };
         let mut workload = WorkloadGenerator::new(spec, args.num_or("seed", 0u64)?);
         let h = client
-            .drive_batched(&mut workload, ops, batch)
+            .drive_pipelined(&mut workload, ops, batch, inflight)
             .map_err(|e| ArgError(format!("stream failed: {e}")))?;
         println!(
             "client     : {} ops, mean {:.0} us, p50 {} us, p99 {} us, max {} us",
@@ -429,6 +451,19 @@ fn cmd_client(args: &Args) -> Result<(), ArgError> {
         "latency    : p50 {} us, p95 {} us, p99 {} us, max {} us",
         stats.latency.p50_us, stats.latency.p95_us, stats.latency.p99_us, stats.latency.max_us
     );
+    if stats.shards.len() > 1 {
+        for shard in &stats.shards {
+            println!(
+                "  shard {}  : {} ops, RR {:.2}, {} windows, {} reconfigurations, p99 {} us",
+                shard.shard,
+                shard.operations,
+                shard.read_ratio,
+                shard.windows_closed,
+                shard.reconfigurations,
+                shard.latency.p99_us
+            );
+        }
+    }
     let report = client
         .config()
         .map_err(|e| ArgError(format!("config: {e}")))?;

@@ -24,6 +24,18 @@ fn help_prints_usage() {
 }
 
 #[test]
+fn help_mentions_cluster_flags() {
+    let (ok, stdout, _) = run(&["--help"]);
+    assert!(ok);
+    assert!(stdout.contains("--shards"), "serve usage lost --shards");
+    assert!(stdout.contains("--lockstep"), "serve usage lost --lockstep");
+    assert!(
+        stdout.contains("--inflight"),
+        "client usage lost --inflight"
+    );
+}
+
+#[test]
 fn no_command_prints_usage() {
     let (ok, stdout, _) = run(&[]);
     assert!(ok);

@@ -15,7 +15,9 @@
 //!    throughput.
 //! 5. **Configuration optimization** — [`tuner`] searches the space with a
 //!    genetic algorithm over the surrogate; [`controller`] re-optimizes
-//!    online whenever the observed workload shifts.
+//!    online whenever the observed workload shifts, and
+//!    [`cluster_controller`] scales that decision loop across N engine
+//!    shards (independent or lockstep tuning).
 //!
 //! # Example
 //!
@@ -33,6 +35,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cluster_controller;
 pub mod controller;
 pub mod dataset;
 pub mod dba;
@@ -42,6 +45,7 @@ pub mod screening;
 pub mod search_space;
 pub mod tuner;
 
+pub use cluster_controller::{ClusterController, ClusterDecision, TuningMode};
 pub use controller::{ControllerConfig, ControllerReport, OnlineController};
 pub use dataset::{CollectionPlan, PerfDataset, PerfSample};
 pub use dba::{DbaSpec, PerformanceMetric};

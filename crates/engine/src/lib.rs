@@ -54,7 +54,7 @@ pub mod sim;
 pub mod store;
 
 pub use bench::run_benchmark;
-pub use cluster::{replicas_of, Cluster, ClusterSpec};
+pub use cluster::{replicas_of, Cluster, ClusterSpec, HashRing};
 pub use compaction::{CompactionJob, Strategy};
 pub use config::{
     param_catalog, CompactionMethod, CostModel, EngineConfig, ParamChange, ParamDomain, ParamId,

@@ -53,7 +53,7 @@ pub mod metrics;
 pub mod sink;
 pub mod trace;
 
-pub use metrics::{Counter, Gauge, HistogramHandle, HistogramSummary, Registry, Snapshot};
+pub use metrics::{labeled, Counter, Gauge, HistogramHandle, HistogramSummary, Registry, Snapshot};
 pub use sink::{FilterSink, HumanSink, JsonlSink, MemorySink, TeeSink};
 pub use trace::{
     clear_subscriber, enabled, event, set_subscriber, span, Event, EventKind, Level, Span,

@@ -104,6 +104,41 @@ enum Slot {
     Histogram(Arc<HistogramHandle>),
 }
 
+/// Builds a labeled metric name, `name{k1="v1",k2="v2"}`. Labeled series
+/// are ordinary registry entries — the label set is part of the name —
+/// so a per-shard series (`ops_total{shard="3"}`) coexists with the
+/// unlabeled aggregate (`ops_total`) and [`Snapshot::prometheus_text`]
+/// groups both under one `# TYPE` family line.
+pub fn labeled(name: &str, labels: &[(&str, &str)]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(name.len() + 16 * labels.len());
+    out.push_str(name);
+    out.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{k}=\"{v}\"");
+    }
+    out.push('}');
+    out
+}
+
+/// The metric family of a (possibly labeled) series name: everything
+/// before the first `{`.
+fn family(name: &str) -> &str {
+    name.split('{').next().unwrap_or(name)
+}
+
+/// Splits a series name into `(family, labels-with-braces)` — for
+/// `a{shard="0"}` returns `("a", Some("shard=\"0\""))`.
+fn split_labels(name: &str) -> (&str, Option<&str>) {
+    match name.find('{') {
+        Some(i) => (&name[..i], Some(name[i + 1..].trim_end_matches('}'))),
+        None => (name, None),
+    }
+}
+
 /// A named collection of metrics. See the module docs.
 #[derive(Default)]
 pub struct Registry {
@@ -229,23 +264,46 @@ impl Snapshot {
     /// counters and gauges as single samples, histograms as summaries
     /// (`{quantile="…"}` lines plus `_count` and `_sum`).
     pub fn prometheus_text(&self) -> String {
+        use std::collections::BTreeSet;
         use std::fmt::Write as _;
         let mut out = String::new();
+        // One `# TYPE` line per family: labeled series (`x{shard="0"}`)
+        // and the unlabeled aggregate (`x`) share the family `x`.
+        let mut typed: BTreeSet<&str> = BTreeSet::new();
         for (name, value) in &self.counters {
-            let _ = writeln!(out, "# TYPE {name} counter");
+            let fam = family(name);
+            if typed.insert(fam) {
+                let _ = writeln!(out, "# TYPE {fam} counter");
+            }
             let _ = writeln!(out, "{name} {value}");
         }
         for (name, value) in &self.gauges {
-            let _ = writeln!(out, "# TYPE {name} gauge");
+            let fam = family(name);
+            if typed.insert(fam) {
+                let _ = writeln!(out, "# TYPE {fam} gauge");
+            }
             let _ = writeln!(out, "{name} {value:?}");
         }
         for (name, h) in &self.histograms {
-            let _ = writeln!(out, "# TYPE {name} summary");
-            let _ = writeln!(out, "{name}{{quantile=\"0.5\"}} {}", h.p50);
-            let _ = writeln!(out, "{name}{{quantile=\"0.99\"}} {}", h.p99);
-            let _ = writeln!(out, "{name}{{quantile=\"1\"}} {}", h.max);
-            let _ = writeln!(out, "{name}_sum {}", h.sum);
-            let _ = writeln!(out, "{name}_count {}", h.count);
+            let (fam, labels) = split_labels(name);
+            if typed.insert(fam) {
+                let _ = writeln!(out, "# TYPE {fam} summary");
+            }
+            // Merge the series labels into the quantile label set:
+            // `lat{shard="0"}` → `lat{shard="0",quantile="0.5"}`.
+            let prefix = match labels {
+                Some(l) if !l.is_empty() => format!("{l},"),
+                _ => String::new(),
+            };
+            let suffix = match labels {
+                Some(l) if !l.is_empty() => format!("{{{l}}}"),
+                _ => String::new(),
+            };
+            let _ = writeln!(out, "{fam}{{{prefix}quantile=\"0.5\"}} {}", h.p50);
+            let _ = writeln!(out, "{fam}{{{prefix}quantile=\"0.99\"}} {}", h.p99);
+            let _ = writeln!(out, "{fam}{{{prefix}quantile=\"1\"}} {}", h.max);
+            let _ = writeln!(out, "{fam}_sum{suffix} {}", h.sum);
+            let _ = writeln!(out, "{fam}_count{suffix} {}", h.count);
         }
         out
     }
@@ -349,5 +407,63 @@ mod tests {
         let registry = Registry::new();
         registry.counter("x");
         registry.gauge("x");
+    }
+
+    #[test]
+    fn labeled_builds_prometheus_series_names() {
+        assert_eq!(
+            labeled("ops_total", &[("shard", "3")]),
+            "ops_total{shard=\"3\"}"
+        );
+        assert_eq!(
+            labeled("lat_us", &[("shard", "0"), ("kind", "read")]),
+            "lat_us{shard=\"0\",kind=\"read\"}"
+        );
+        assert_eq!(labeled("bare", &[]), "bare{}");
+    }
+
+    #[test]
+    fn labeled_series_share_one_type_line_with_the_aggregate() {
+        let registry = Registry::new();
+        registry.counter("ops_total").add(10);
+        registry
+            .counter(&labeled("ops_total", &[("shard", "0")]))
+            .add(4);
+        registry
+            .counter(&labeled("ops_total", &[("shard", "1")]))
+            .add(6);
+        // A name that sorts *between* `ops_total` and `ops_total{…`
+        // (ASCII '{' > any letter) must not break family grouping.
+        registry.counter("ops_totalx").add(1);
+        let text = registry.snapshot().prometheus_text();
+        assert_eq!(
+            text.matches("# TYPE ops_total counter").count(),
+            1,
+            "{text}"
+        );
+        assert!(text.contains("# TYPE ops_totalx counter"), "{text}");
+        assert!(text.contains("ops_total{shard=\"0\"} 4"), "{text}");
+        assert!(text.contains("ops_total{shard=\"1\"} 6"), "{text}");
+        assert!(text.contains("ops_total 10"), "{text}");
+    }
+
+    #[test]
+    fn labeled_histograms_merge_labels_into_quantiles() {
+        let registry = Registry::new();
+        let h = registry.histogram(&labeled("lat_us", &[("shard", "2")]));
+        h.record(10);
+        h.record(30);
+        let text = registry.snapshot().prometheus_text();
+        assert!(text.contains("# TYPE lat_us summary"), "{text}");
+        assert!(
+            text.contains("lat_us{shard=\"2\",quantile=\"0.5\"} 10"),
+            "{text}"
+        );
+        assert!(
+            text.contains("lat_us{shard=\"2\",quantile=\"1\"} 30"),
+            "{text}"
+        );
+        assert!(text.contains("lat_us_sum{shard=\"2\"} 40"), "{text}");
+        assert!(text.contains("lat_us_count{shard=\"2\"} 2"), "{text}");
     }
 }

@@ -8,6 +8,7 @@ use crate::protocol::{
 use crate::wire::Json;
 use rafiki_stats::StreamingHistogram;
 use rafiki_workload::{Operation, OperationSource};
+use std::collections::VecDeque;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
@@ -15,6 +16,12 @@ use std::net::{TcpStream, ToSocketAddrs};
 /// framing and the server's per-frame lock, small enough to keep
 /// latency-sample merges timely).
 pub const DRIVE_BATCH: usize = 64;
+
+/// Upper bound on the pipelining window of
+/// [`Client::drive_pipelined`]. Bounded so a client can never buffer an
+/// unbounded number of un-acknowledged frames (and so the server's
+/// bounded burst drain keeps up).
+pub const MAX_INFLIGHT: usize = 64;
 
 /// A connection to a running [`crate::Server`].
 #[derive(Debug)]
@@ -221,24 +228,97 @@ impl Client {
         ops: usize,
         batch: usize,
     ) -> io::Result<StreamingHistogram> {
-        let mut histogram = StreamingHistogram::new();
-        if batch <= 1 {
-            for _ in 0..ops {
-                histogram.record(self.op(source.next_op())?);
-            }
-            return Ok(histogram);
-        }
+        self.drive_pipelined(source, ops, batch, 1)
+    }
+
+    /// [`Client::drive_batched`] with a configurable pipelining window:
+    /// up to `inflight` frames may be on the wire awaiting responses at
+    /// once. `inflight = 1` is strict request/response — the exact wire
+    /// sequence of [`Client::drive_batched`]; larger windows overlap the
+    /// client's encode/send with the server's execution so neither side
+    /// idles on the other's turnaround (the server drains bursts of
+    /// buffered frames and answers them with one vectored write).
+    /// `inflight` is clamped to `1..=`[`MAX_INFLIGHT`].
+    ///
+    /// Responses are matched to frames in order (the protocol has no
+    /// frame IDs; the server answers each connection's frames strictly
+    /// in order), so latencies land in the histogram in the same order
+    /// as unpipelined driving.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first operation that errors.
+    pub fn drive_pipelined<S: OperationSource + ?Sized>(
+        &mut self,
+        source: &mut S,
+        ops: usize,
+        batch: usize,
+        inflight: usize,
+    ) -> io::Result<StreamingHistogram> {
+        let inflight = inflight.clamp(1, MAX_INFLIGHT);
         let batch = batch.min(MAX_BATCH);
-        let mut chunk = Vec::with_capacity(batch);
+        let mut histogram = StreamingHistogram::new();
+        let mut chunk: Vec<Operation> = Vec::with_capacity(batch.max(1));
+        // Sizes of frames sent but not yet answered, in send order.
+        let mut pending: VecDeque<usize> = VecDeque::with_capacity(inflight);
         let mut remaining = ops;
-        while remaining > 0 {
-            let n = remaining.min(batch);
-            chunk.clear();
-            chunk.extend((0..n).map(|_| source.next_op()));
-            for latency_us in self.batch(&chunk)? {
-                histogram.record(latency_us);
+        while remaining > 0 || !pending.is_empty() {
+            if remaining > 0 && pending.len() < inflight {
+                // Window open: encode and send the next frame.
+                let n = if batch <= 1 { 1 } else { remaining.min(batch) };
+                self.out.clear();
+                if batch <= 1 {
+                    Request::Op(source.next_op())
+                        .to_json()
+                        .encode_into(&mut self.out);
+                } else {
+                    chunk.clear();
+                    chunk.extend((0..n).map(|_| source.next_op()));
+                    crate::protocol::encode_batch_into(&chunk, &mut self.out);
+                }
+                self.out.push('\n');
+                self.writer.write_all(self.out.as_bytes())?;
+                pending.push_back(n);
+                remaining -= n;
+                continue;
             }
-            remaining -= n;
+            // Window full (or stream exhausted): read the oldest frame's
+            // response.
+            let expect = pending.pop_front().expect("pending is non-empty");
+            self.line.clear();
+            if self.reader.read_line(&mut self.line)? == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                ));
+            }
+            let parsed = Json::parse(self.line.trim())
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+            let response = Response::from_json(&parsed)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+            match response {
+                Response::Done { latency_us } if expect == 1 && batch <= 1 => {
+                    histogram.record(latency_us);
+                }
+                Response::Batch(results) if batch > 1 => {
+                    if results.len() != expect {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("sent {expect} ops, got {} results", results.len()),
+                        ));
+                    }
+                    for result in results {
+                        match result {
+                            BatchResult::Done { latency_us } => histogram.record(latency_us),
+                            BatchResult::Error { message } => {
+                                return Err(io::Error::other(message))
+                            }
+                        }
+                    }
+                }
+                Response::Error { message } => return Err(io::Error::other(message)),
+                other => return Err(unexpected(&other)),
+            }
         }
         Ok(histogram)
     }

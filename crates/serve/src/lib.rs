@@ -10,11 +10,13 @@
 //! - [`wire`] — a dependency-free newline-delimited JSON codec;
 //! - [`protocol`] — typed request/response frames (`op`, `batch`,
 //!   `stats`, `config`, `shutdown`);
-//! - [`server`] — the daemon: every operation runs to completion on the
-//!   simulated engine, feeds the streaming
-//!   [`rafiki_workload::OnlineCharacterizer`], and each closed window is
-//!   handed to the [`rafiki::OnlineController`], whose switches are
-//!   applied to the live engine via `Engine::reconfigure`;
+//! - [`server`] — the daemon: a consistent-hash ring routes every
+//!   operation to one of N engine shards, each a dedicated worker
+//!   thread that runs its ops to completion on a private simulated
+//!   engine, feeds its own streaming
+//!   [`rafiki_workload::OnlineCharacterizer`], and hands each closed
+//!   window to the shared [`rafiki::ClusterController`], whose switches
+//!   are applied to the live shard engines via `Engine::reconfigure`;
 //! - [`client`] — a blocking client plus load-generator mode, used by
 //!   the CLI (`rafiki-tune serve` / `rafiki-tune client`) and the
 //!   loopback tests.
@@ -40,12 +42,14 @@
 pub mod client;
 pub mod protocol;
 pub mod server;
+mod shard;
 pub mod wire;
 
 pub use client::Client;
 pub use protocol::{
-    BatchResult, ConfigReport, ConfigSummary, LatencySummary, MetricsHistogram, MetricsReport,
-    ParamChange, ReconfigEvent, Request, Response, StatsReport, WindowActivity, MAX_BATCH,
+    BatchResult, ClusterEvent, ConfigReport, ConfigSummary, LatencySummary, MetricsHistogram,
+    MetricsReport, ParamChange, ReconfigEvent, Request, Response, ShardConfig, ShardStats,
+    StatsReport, WindowActivity, MAX_BATCH,
 };
 pub use server::{ServeConfig, ServeReport, Server};
 pub use wire::{Json, JsonError};

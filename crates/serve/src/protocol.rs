@@ -123,8 +123,35 @@ pub struct WindowActivity {
     pub p99_us: u64,
 }
 
+/// One shard's view inside a [`StatsReport`]: the same shape as the
+/// aggregate, scoped to the keys the shard owns. The aggregate fields
+/// are exact merges of these (`Σ` for counts, sufficient-statistic
+/// merges for ratios, histogram merges for latency), so
+/// `Σ shards == aggregate` holds field by field.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ShardStats {
+    /// Shard index (`0..shards`).
+    pub shard: u64,
+    /// Operations this shard's characterizer observed.
+    pub operations: u64,
+    /// Whole-stream read ratio on this shard.
+    pub read_ratio: f64,
+    /// Streaming KRD mean on this shard, when any reuse was observed.
+    pub krd_mean: Option<f64>,
+    /// Characterization windows this shard closed.
+    pub windows_closed: u64,
+    /// Controller re-optimizations triggered by this shard's windows.
+    pub reoptimizations: u64,
+    /// Configuration switches applied to this shard's engine.
+    pub reconfigurations: u64,
+    /// Latency digest of the ops routed to this shard.
+    pub latency: LatencySummary,
+    /// Engine activity in this shard's last closed window.
+    pub last_window: WindowActivity,
+}
+
 /// The `stats` response payload.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct StatsReport {
     /// Operations observed by the characterizer.
     pub operations: u64,
@@ -140,8 +167,11 @@ pub struct StatsReport {
     pub reconfigurations: u64,
     /// Latency digest across all clients.
     pub latency: LatencySummary,
-    /// Engine activity in the last closed window.
+    /// Engine activity in the last closed window (across all shards).
     pub last_window: WindowActivity,
+    /// Per-shard breakdowns, one entry per shard, in shard order.
+    /// Empty when talking to a pre-sharding server.
+    pub shards: Vec<ShardStats>,
 }
 
 /// The key tuning parameters of a configuration, as reported on the wire.
@@ -194,6 +224,9 @@ pub struct ParamChange {
 /// One applied reconfiguration, as reported by the `config` endpoint.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ReconfigEvent {
+    /// The shard whose engine was reconfigured (0 when reported by a
+    /// pre-sharding server).
+    pub shard: u64,
     /// Window index whose closure triggered the switch.
     pub window: u64,
     /// Read ratio of that window.
@@ -211,13 +244,47 @@ pub struct ReconfigEvent {
     pub apply_us: u64,
 }
 
+/// One shard's active configuration inside a [`ConfigReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardConfig {
+    /// Shard index (`0..shards`).
+    pub shard: u64,
+    /// The configuration the shard's engine currently runs.
+    pub active: ConfigSummary,
+}
+
+/// A cluster-topology event on the audit trail: keyspace scale-out at
+/// startup, or a lockstep reconfiguration that touched every shard at
+/// once. Per-shard engine switches stay [`ReconfigEvent`]s.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterEvent {
+    /// Event kind: `"scale_out"` or `"lockstep_reconfigure"`.
+    pub kind: String,
+    /// Window index that triggered the event (0 for startup events).
+    pub window: u64,
+    /// Number of shards involved.
+    pub shards: u64,
+    /// Fraction of the keyspace whose owner changed (scale-out events;
+    /// 0 otherwise).
+    pub moved_fraction: f64,
+    /// Human-readable description.
+    pub detail: String,
+}
+
 /// The `config` response payload.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ConfigReport {
-    /// The currently active configuration.
+    /// The currently active configuration (shard 0's when shards have
+    /// diverged — see `shards` for the full per-shard picture).
     pub active: ConfigSummary,
     /// Every applied reconfiguration, oldest first.
     pub events: Vec<ReconfigEvent>,
+    /// Per-shard active configurations, in shard order. Empty when
+    /// talking to a pre-sharding server.
+    pub shards: Vec<ShardConfig>,
+    /// Cluster-topology events, oldest first. Empty when talking to a
+    /// pre-sharding server.
+    pub cluster_events: Vec<ClusterEvent>,
 }
 
 /// Point-in-time summary of one histogram in a `metrics` response.
@@ -281,6 +348,28 @@ fn num(n: u64) -> Json {
     Json::Num(n as f64)
 }
 
+fn latency_json(l: &LatencySummary) -> Json {
+    Json::obj(vec![
+        ("count", num(l.count)),
+        ("mean_us", Json::Num(l.mean_us)),
+        ("p50_us", num(l.p50_us)),
+        ("p95_us", num(l.p95_us)),
+        ("p99_us", num(l.p99_us)),
+        ("max_us", num(l.max_us)),
+    ])
+}
+
+fn window_json(w: &WindowActivity) -> Json {
+    Json::obj(vec![
+        ("reads_completed", num(w.reads_completed)),
+        ("writes_completed", num(w.writes_completed)),
+        ("flushes", num(w.flushes)),
+        ("compactions", num(w.compactions)),
+        ("p50_us", num(w.p50_us)),
+        ("p99_us", num(w.p99_us)),
+    ])
+}
+
 fn require<'j>(v: &'j Json, key: &str) -> Result<&'j Json, String> {
     v.get(key).ok_or_else(|| format!("missing field: {key}"))
 }
@@ -312,6 +401,29 @@ fn optional_u64(v: &Json, key: &str) -> Result<u64, String> {
             .as_u64()
             .ok_or_else(|| format!("field {key} must be a non-negative integer")),
     }
+}
+
+fn decode_latency(v: &Json) -> Result<LatencySummary, String> {
+    Ok(LatencySummary {
+        count: require_u64(v, "count")?,
+        mean_us: require_f64(v, "mean_us")?,
+        p50_us: require_u64(v, "p50_us")?,
+        p95_us: require_u64(v, "p95_us")?,
+        p99_us: require_u64(v, "p99_us")?,
+        max_us: require_u64(v, "max_us")?,
+    })
+}
+
+fn decode_window(v: &Json) -> Result<WindowActivity, String> {
+    Ok(WindowActivity {
+        reads_completed: require_u64(v, "reads_completed")?,
+        writes_completed: require_u64(v, "writes_completed")?,
+        flushes: require_u64(v, "flushes")?,
+        compactions: require_u64(v, "compactions")?,
+        // Absent on pre-quantile servers; default to 0.
+        p50_us: optional_u64(v, "p50_us")?,
+        p99_us: optional_u64(v, "p99_us")?,
+    })
 }
 
 /// The `kind`/`key`[/`len`] members describing one operation (shared by
@@ -632,22 +744,24 @@ impl Response {
                 ),
             ]),
             Response::Stats(s) => {
-                let latency = Json::obj(vec![
-                    ("count", num(s.latency.count)),
-                    ("mean_us", Json::Num(s.latency.mean_us)),
-                    ("p50_us", num(s.latency.p50_us)),
-                    ("p95_us", num(s.latency.p95_us)),
-                    ("p99_us", num(s.latency.p99_us)),
-                    ("max_us", num(s.latency.max_us)),
-                ]);
-                let window = Json::obj(vec![
-                    ("reads_completed", num(s.last_window.reads_completed)),
-                    ("writes_completed", num(s.last_window.writes_completed)),
-                    ("flushes", num(s.last_window.flushes)),
-                    ("compactions", num(s.last_window.compactions)),
-                    ("p50_us", num(s.last_window.p50_us)),
-                    ("p99_us", num(s.last_window.p99_us)),
-                ]);
+                let shards = Json::Arr(
+                    s.shards
+                        .iter()
+                        .map(|sh| {
+                            Json::obj(vec![
+                                ("shard", num(sh.shard)),
+                                ("operations", num(sh.operations)),
+                                ("read_ratio", Json::Num(sh.read_ratio)),
+                                ("krd_mean", sh.krd_mean.map_or(Json::Null, Json::Num)),
+                                ("windows_closed", num(sh.windows_closed)),
+                                ("reoptimizations", num(sh.reoptimizations)),
+                                ("reconfigurations", num(sh.reconfigurations)),
+                                ("latency", latency_json(&sh.latency)),
+                                ("last_window", window_json(&sh.last_window)),
+                            ])
+                        })
+                        .collect(),
+                );
                 Json::obj(vec![
                     ("type", Json::str("stats")),
                     ("operations", num(s.operations)),
@@ -656,8 +770,9 @@ impl Response {
                     ("windows_closed", num(s.windows_closed)),
                     ("reoptimizations", num(s.reoptimizations)),
                     ("reconfigurations", num(s.reconfigurations)),
-                    ("latency", latency),
-                    ("last_window", window),
+                    ("latency", latency_json(&s.latency)),
+                    ("last_window", window_json(&s.last_window)),
+                    ("shards", shards),
                 ])
             }
             Response::Config(c) => Json::obj(vec![
@@ -670,6 +785,7 @@ impl Response {
                             .iter()
                             .map(|e| {
                                 Json::obj(vec![
+                                    ("shard", num(e.shard)),
                                     ("window", num(e.window)),
                                     ("read_ratio", Json::Num(e.read_ratio)),
                                     ("predicted_throughput", Json::Num(e.predicted_throughput)),
@@ -690,6 +806,37 @@ impl Response {
                                         ),
                                     ),
                                     ("apply_us", num(e.apply_us)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+                (
+                    "shards",
+                    Json::Arr(
+                        c.shards
+                            .iter()
+                            .map(|s| {
+                                Json::obj(vec![
+                                    ("shard", num(s.shard)),
+                                    ("active", s.active.to_json()),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+                (
+                    "cluster_events",
+                    Json::Arr(
+                        c.cluster_events
+                            .iter()
+                            .map(|e| {
+                                Json::obj(vec![
+                                    ("kind", Json::str(&e.kind)),
+                                    ("window", num(e.window)),
+                                    ("shards", num(e.shards)),
+                                    ("moved_fraction", Json::Num(e.moved_fraction)),
+                                    ("detail", Json::str(&e.detail)),
                                 ])
                             })
                             .collect(),
@@ -780,8 +927,33 @@ impl Response {
                 Ok(Response::Batch(results))
             }
             "stats" => {
-                let latency = require(v, "latency")?;
-                let window = require(v, "last_window")?;
+                // Absent on pre-sharding servers; default to empty.
+                let shards = match v.get("shards") {
+                    None => Vec::new(),
+                    Some(s) => s
+                        .as_arr()
+                        .ok_or("field shards must be an array")?
+                        .iter()
+                        .map(|sh| {
+                            Ok(ShardStats {
+                                shard: require_u64(sh, "shard")?,
+                                operations: require_u64(sh, "operations")?,
+                                read_ratio: require_f64(sh, "read_ratio")?,
+                                krd_mean: match require(sh, "krd_mean")? {
+                                    Json::Null => None,
+                                    other => Some(
+                                        other.as_f64().ok_or("field krd_mean must be a number")?,
+                                    ),
+                                },
+                                windows_closed: require_u64(sh, "windows_closed")?,
+                                reoptimizations: require_u64(sh, "reoptimizations")?,
+                                reconfigurations: require_u64(sh, "reconfigurations")?,
+                                latency: decode_latency(require(sh, "latency")?)?,
+                                last_window: decode_window(require(sh, "last_window")?)?,
+                            })
+                        })
+                        .collect::<Result<Vec<_>, String>>()?,
+                };
                 Ok(Response::Stats(StatsReport {
                     operations: require_u64(v, "operations")?,
                     read_ratio: require_f64(v, "read_ratio")?,
@@ -792,23 +964,9 @@ impl Response {
                     windows_closed: require_u64(v, "windows_closed")?,
                     reoptimizations: require_u64(v, "reoptimizations")?,
                     reconfigurations: require_u64(v, "reconfigurations")?,
-                    latency: LatencySummary {
-                        count: require_u64(latency, "count")?,
-                        mean_us: require_f64(latency, "mean_us")?,
-                        p50_us: require_u64(latency, "p50_us")?,
-                        p95_us: require_u64(latency, "p95_us")?,
-                        p99_us: require_u64(latency, "p99_us")?,
-                        max_us: require_u64(latency, "max_us")?,
-                    },
-                    last_window: WindowActivity {
-                        reads_completed: require_u64(window, "reads_completed")?,
-                        writes_completed: require_u64(window, "writes_completed")?,
-                        flushes: require_u64(window, "flushes")?,
-                        compactions: require_u64(window, "compactions")?,
-                        // Absent on pre-quantile servers; default to 0.
-                        p50_us: optional_u64(window, "p50_us")?,
-                        p99_us: optional_u64(window, "p99_us")?,
-                    },
+                    latency: decode_latency(require(v, "latency")?)?,
+                    last_window: decode_window(require(v, "last_window")?)?,
+                    shards,
                 }))
             }
             "config" => {
@@ -836,6 +994,8 @@ impl Response {
                                 .collect::<Result<Vec<_>, String>>()?,
                         };
                         Ok(ReconfigEvent {
+                            // Absent on pre-sharding servers; shard 0.
+                            shard: optional_u64(e, "shard")?,
                             window: require_u64(e, "window")?,
                             read_ratio: require_f64(e, "read_ratio")?,
                             predicted_throughput: require_f64(e, "predicted_throughput")?,
@@ -845,7 +1005,44 @@ impl Response {
                         })
                     })
                     .collect::<Result<Vec<_>, String>>()?;
-                Ok(Response::Config(ConfigReport { active, events }))
+                // Absent on pre-sharding servers; default to empty.
+                let shards = match v.get("shards") {
+                    None => Vec::new(),
+                    Some(s) => s
+                        .as_arr()
+                        .ok_or("field shards must be an array")?
+                        .iter()
+                        .map(|sh| {
+                            Ok(ShardConfig {
+                                shard: require_u64(sh, "shard")?,
+                                active: ConfigSummary::from_json(require(sh, "active")?)?,
+                            })
+                        })
+                        .collect::<Result<Vec<_>, String>>()?,
+                };
+                let cluster_events = match v.get("cluster_events") {
+                    None => Vec::new(),
+                    Some(s) => s
+                        .as_arr()
+                        .ok_or("field cluster_events must be an array")?
+                        .iter()
+                        .map(|e| {
+                            Ok(ClusterEvent {
+                                kind: require_str(e, "kind")?.to_string(),
+                                window: require_u64(e, "window")?,
+                                shards: require_u64(e, "shards")?,
+                                moved_fraction: require_f64(e, "moved_fraction")?,
+                                detail: require_str(e, "detail")?.to_string(),
+                            })
+                        })
+                        .collect::<Result<Vec<_>, String>>()?,
+                };
+                Ok(Response::Config(ConfigReport {
+                    active,
+                    events,
+                    shards,
+                    cluster_events,
+                }))
             }
             "metrics" => {
                 let counters = require(v, "counters")?
@@ -1075,15 +1272,54 @@ mod tests {
                     p50_us: 640,
                     p99_us: 2_100,
                 },
+                shards: vec![
+                    ShardStats {
+                        shard: 0,
+                        operations: 7_000,
+                        read_ratio: 0.8,
+                        krd_mean: Some(400.0),
+                        windows_closed: 7,
+                        reoptimizations: 2,
+                        reconfigurations: 1,
+                        latency: LatencySummary {
+                            count: 7_000,
+                            mean_us: 800.0,
+                            p50_us: 690,
+                            p95_us: 1_850,
+                            p99_us: 3_100,
+                            max_us: 9_000,
+                        },
+                        last_window: WindowActivity {
+                            reads_completed: 500,
+                            writes_completed: 100,
+                            flushes: 1,
+                            compactions: 1,
+                            p50_us: 630,
+                            p99_us: 2_000,
+                        },
+                    },
+                    ShardStats {
+                        shard: 1,
+                        operations: 5_000,
+                        read_ratio: 0.87,
+                        krd_mean: None,
+                        windows_closed: 5,
+                        reoptimizations: 1,
+                        reconfigurations: 1,
+                        latency: LatencySummary::default(),
+                        last_window: WindowActivity::default(),
+                    },
+                ],
             }),
             Response::Stats(StatsReport::default()),
             Response::Config(ConfigReport {
                 active: summary.clone(),
                 events: vec![ReconfigEvent {
+                    shard: 1,
                     window: 4,
                     read_ratio: 0.1,
                     predicted_throughput: 15_000.0,
-                    to: summary,
+                    to: summary.clone(),
                     diff: vec![
                         ParamChange {
                             param: "concurrent_writes".to_string(),
@@ -1097,6 +1333,23 @@ mod tests {
                         },
                     ],
                     apply_us: 87,
+                }],
+                shards: vec![
+                    ShardConfig {
+                        shard: 0,
+                        active: summary.clone(),
+                    },
+                    ShardConfig {
+                        shard: 1,
+                        active: summary,
+                    },
+                ],
+                cluster_events: vec![ClusterEvent {
+                    kind: "scale_out".to_string(),
+                    window: 0,
+                    shards: 2,
+                    moved_fraction: 0.48,
+                    detail: "keyspace partitioned across 2 shards".to_string(),
                 }],
             }),
             Response::Metrics(MetricsReport {
@@ -1147,6 +1400,7 @@ mod tests {
         };
         assert_eq!(report.last_window.p50_us, 0);
         assert_eq!(report.last_window.p99_us, 0);
+        assert!(report.shards.is_empty(), "pre-sharding stats: no shards");
 
         // A `config` frame from a server that predates reconfig diffs.
         let to = ConfigSummary::from(&EngineConfig::default())
@@ -1163,6 +1417,9 @@ mod tests {
         };
         assert!(report.events[0].diff.is_empty());
         assert_eq!(report.events[0].apply_us, 0);
+        assert_eq!(report.events[0].shard, 0, "pre-sharding event: shard 0");
+        assert!(report.shards.is_empty());
+        assert!(report.cluster_events.is_empty());
     }
 
     #[test]

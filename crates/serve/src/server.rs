@@ -1,66 +1,84 @@
 //! The middleware daemon: a TCP server that executes client operations
-//! against a live simulated engine while characterizing the stream and
-//! retuning the engine online.
+//! against a cluster of live simulated engine shards while
+//! characterizing each shard's stream and retuning the shards online.
 //!
 //! One [`Server`] owns a fitted [`RafikiTuner`] plus the listening
-//! socket. [`Server::run`] builds the live pipeline — engine,
-//! [`OnlineCharacterizer`], [`OnlineController`] — and serves connections
-//! on scoped threads until a `shutdown` frame arrives. Every operation
-//! is executed to completion on the simulated clock under one lock, so
-//! the engine is always foreground-quiescent when a characterization
-//! window closes and a reconfiguration can be applied in place via
-//! [`Engine::reconfigure`].
+//! socket. [`Server::run`] builds the live pipeline — a seeded
+//! [`HashRing`], one `ShardWorker` thread per shard (each with its own
+//! [`Engine`](rafiki_engine::Engine), `OnlineCharacterizer` and latency
+//! histograms), and a shared [`rafiki::ClusterController`] — and serves
+//! connections on scoped threads until a `shutdown` frame arrives.
 //!
-//! # Locking rule: one mutex acquisition per *frame*
+//! # Sharded execution model
 //!
-//! A `batch` frame takes the engine lock **once** and executes all of
-//! its ops under it, instead of once per op. This is what makes batching
-//! an order-of-magnitude throughput win (the per-op cost collapses to
-//! the simulation itself; lock traffic, JSON framing and socket writes
-//! amortize across the batch). The quiescence contract is unchanged:
-//! ops still run strictly sequentially under the lock, each stepped to
-//! completion, so a window can only close *between* ops — exactly as in
-//! the single-op path — and `Engine::reconfigure` still only runs on a
-//! quiescent engine. [`crate::MAX_BATCH`] bounds how long one frame may
-//! hold the lock.
+//! Connection handlers never touch an engine. They route each operation
+//! by consistent hash to its owning shard's MPSC queue and wait for the
+//! latency reply; a `batch` frame is partitioned per shard, scattered,
+//! and gathered back into frame order. Each worker executes its queue
+//! strictly sequentially, stepping every op to completion on its private
+//! simulated clock — so there is **no lock on the op hot path** (the
+//! pre-sharding daemon serialized every op through one daemon-wide
+//! mutex), and each shard's engine is quiescent between queue messages,
+//! which is when characterization windows close and
+//! [`Engine::reconfigure`](rafiki_engine::Engine::reconfigure) applies —
+//! per shard, without stalling the others. With `--shards 1` the
+//! observable behavior (stats, events, metrics) is identical to the old
+//! single-engine daemon. See `DESIGN.md` §10.
 
 use crate::protocol::{
-    BatchResult, ConfigReport, ConfigSummary, LatencySummary, MetricsHistogram, MetricsReport,
-    ParamChange, ReconfigEvent, Request, Response, StatsReport, WindowActivity,
+    BatchResult, ClusterEvent, ConfigReport, LatencySummary, MetricsHistogram, MetricsReport,
+    Request, Response, ShardConfig, ShardStats, StatsReport, WindowActivity,
 };
-use crate::wire::Json;
-use rafiki::{ControllerConfig, OnlineController, RafikiTuner};
-use rafiki_engine::{Engine, EngineMetrics, OpCompletion, ServerSpec, SimTime};
-use rafiki_obs as obs;
-use rafiki_obs::{Counter, Gauge, HistogramHandle, Registry, Value};
+use crate::shard::{
+    lock, ClusterShared, EventLog, OpsReply, ShardRequest, ShardSnapshot, ShardWorker,
+};
+use crate::wire::{write_all_vectored, Json};
+use rafiki::{ClusterController, ControllerConfig, RafikiTuner, TuningMode};
+use rafiki_engine::HashRing;
+use rafiki_obs::Registry;
 use rafiki_stats::StreamingHistogram;
-use rafiki_workload::{OnlineCharacterizer, Operation, WindowSummary};
+use rafiki_workload::Operation;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::Mutex;
 use std::time::Duration;
 
-/// How often blocked reads wake up to check the shutdown flag.
-const POLL_INTERVAL: Duration = Duration::from_millis(25);
-/// Per-connection latency samples are merged into the shared histogram
-/// in batches of this size (and on every `stats` request / disconnect).
-const MERGE_BATCH: u64 = 128;
+/// How often blocked reads (and idle shard workers) wake up to check
+/// the shutdown flag.
+pub(crate) const POLL_INTERVAL: Duration = Duration::from_millis(25);
+/// How many already-buffered frames a connection drains per read before
+/// writing responses back (responses for a burst leave in one
+/// [`write_all_vectored`] call).
+const MAX_BURST: usize = 32;
+/// Seed for the cluster's consistent-hash ring. Fixed so key→shard
+/// routing is deterministic across daemon restarts: a key preloaded
+/// into shard 2 today is served by shard 2 tomorrow.
+const RING_SEED: u64 = 0x7261_6669_6b69_3031; // "rafiki01"
 
 /// Daemon settings.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ServeConfig {
     /// Operations per characterization window (the discrete analogue of
-    /// the paper's 15-minute windows).
+    /// the paper's 15-minute windows). Per shard: each shard's
+    /// characterizer closes its own windows.
     pub window_ops: usize,
-    /// Distinct keys the streaming KRD estimator may track.
+    /// Distinct keys the streaming KRD estimator may track (per shard).
     pub krd_capacity: usize,
     /// Online-controller settings (thresholds, proactive mode).
     pub controller: ControllerConfig,
-    /// Keys preloaded into the engine before serving.
+    /// Keys preloaded into the cluster before serving; each shard loads
+    /// exactly the subset the hash ring routes to it.
     pub preload_keys: u64,
     /// Payload size of preloaded rows, in bytes.
     pub preload_payload: u32,
+    /// Engine shards. Each shard is a full engine + characterizer +
+    /// tuning loop on its own worker thread. 0 is treated as 1.
+    pub shards: usize,
+    /// Tune shards in lockstep (one shared decision stream reconfigures
+    /// every shard) instead of independently.
+    pub lockstep: bool,
 }
 
 impl Default for ServeConfig {
@@ -71,11 +89,14 @@ impl Default for ServeConfig {
             controller: ControllerConfig::default(),
             preload_keys: 20_000,
             preload_payload: 1_000,
+            shards: 1,
+            lockstep: false,
         }
     }
 }
 
 /// What a daemon did over its lifetime, returned by [`Server::run`].
+/// Totals are summed across shards.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServeReport {
     /// Operations executed.
@@ -84,7 +105,7 @@ pub struct ServeReport {
     pub windows_closed: u64,
     /// Controller re-optimizations (GA runs).
     pub reoptimizations: u64,
-    /// Configurations applied to the live engine.
+    /// Configurations applied to live engines.
     pub reconfigurations: u64,
 }
 
@@ -95,63 +116,6 @@ pub struct Server {
     tuner: RafikiTuner,
     cfg: ServeConfig,
     stop: AtomicBool,
-}
-
-/// Everything the connection handlers share, behind one mutex.
-///
-/// Operations are short (one simulated op fully stepped per lock
-/// acquisition), so a single lock keeps the whole pipeline — engine,
-/// characterizer, controller — trivially consistent: a window can only
-/// close between operations, when no foreground work is in flight.
-struct Shared<'t> {
-    engine: Engine,
-    characterizer: OnlineCharacterizer,
-    controller: OnlineController<'t>,
-    histogram: StreamingHistogram,
-    events: Vec<ReconfigEvent>,
-    reoptimizations: u64,
-    windows_closed: u64,
-    window_start_metrics: EngineMetrics,
-    window_start_clock: SimTime,
-    /// Latencies of the window currently filling; reset at each close.
-    window_histogram: StreamingHistogram,
-    last_window: WindowActivity,
-    next_token: u64,
-    completions: Vec<OpCompletion>,
-    metrics: ServeMetrics,
-}
-
-/// The daemon's introspection registry plus cached handles for the
-/// metrics touched on the hot path.
-///
-/// All updates happen under the shared mutex, in the same critical
-/// sections that update the `stats` bookkeeping — so a `metrics` frame
-/// and a `stats` frame observed back-to-back by one client agree
-/// exactly on operation and window counts.
-struct ServeMetrics {
-    registry: Registry,
-    ops_total: Arc<Counter>,
-    windows_closed_total: Arc<Counter>,
-    reoptimizations_total: Arc<Counter>,
-    reconfigurations_total: Arc<Counter>,
-    read_ratio: Arc<Gauge>,
-    /// Completed-window latencies (the filling window merges in at close).
-    latency_us: Arc<HistogramHandle>,
-}
-
-impl ServeMetrics {
-    fn new() -> ServeMetrics {
-        let registry = Registry::new();
-        ServeMetrics {
-            ops_total: registry.counter("serve_ops_total"),
-            windows_closed_total: registry.counter("serve_windows_closed_total"),
-            reoptimizations_total: registry.counter("serve_reoptimizations_total"),
-            reconfigurations_total: registry.counter("serve_reconfigurations_total"),
-            read_ratio: registry.gauge("serve_read_ratio"),
-            latency_us: registry.histogram("serve_op_latency_us"),
-            registry,
-        }
-    }
 }
 
 impl Server {
@@ -194,121 +158,143 @@ impl Server {
         self.stop.store(true, Ordering::SeqCst);
     }
 
-    /// Serves connections until a `shutdown` frame arrives (or [`Server::stop`]
-    /// is called), then drains every connection and reports the lifetime
-    /// totals.
+    /// Serves connections until a `shutdown` frame arrives (or
+    /// [`Server::stop`] is called), then drains every connection, winds
+    /// down the shard workers, and reports the lifetime totals.
     ///
     /// # Errors
     ///
     /// Propagates accept-loop socket errors. Per-connection I/O errors
     /// only drop that connection.
     pub fn run(&self) -> io::Result<ServeReport> {
-        let controller = OnlineController::new(&self.tuner, self.cfg.controller)
+        let shards = self.cfg.shards.max(1);
+        let mode = if self.cfg.lockstep {
+            TuningMode::Lockstep
+        } else {
+            TuningMode::Independent
+        };
+        let controller = ClusterController::new(&self.tuner, self.cfg.controller, shards, mode)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, format!("{e:?}")))?;
-        let mut engine = Engine::new(controller.active_config().clone(), ServerSpec::default());
-        if self.cfg.preload_keys > 0 {
-            engine.preload(self.cfg.preload_keys, self.cfg.preload_payload);
+        let ring = HashRing::with_shards(shards, RING_SEED);
+        let shared = ClusterShared {
+            controller: Mutex::new(controller),
+            log: Mutex::new(EventLog::default()),
+            last_window: Mutex::new(WindowActivity::default()),
+            registry: Registry::new(),
+            worker_stop: AtomicBool::new(false),
+        };
+        if shards > 1 {
+            // Record the topology on the audit trail: how much of the
+            // keyspace moved relative to a one-shard-smaller ring (the
+            // scale-out this deployment represents).
+            let prev = HashRing::with_shards(shards - 1, RING_SEED);
+            let sample = self.cfg.preload_keys.max(1 << 16);
+            let moved_fraction = prev.moved_fraction(&ring, sample);
+            lock(&shared.log).cluster.push(ClusterEvent {
+                kind: "scale_out".to_string(),
+                window: 0,
+                shards: shards as u64,
+                moved_fraction,
+                detail: format!(
+                    "cluster bootstrapped at {shards} shards; {:.1}% of keys \
+                     moved relative to a {}-shard ring",
+                    moved_fraction * 100.0,
+                    shards - 1
+                ),
+            });
         }
-        let window_start_metrics = *engine.metrics();
-        let window_start_clock = engine.clock();
-        let shared = Mutex::new(Shared {
-            engine,
-            characterizer: OnlineCharacterizer::new(self.cfg.window_ops, self.cfg.krd_capacity),
-            controller,
-            histogram: StreamingHistogram::new(),
-            events: Vec::new(),
-            reoptimizations: 0,
-            windows_closed: 0,
-            window_start_metrics,
-            window_start_clock,
-            window_histogram: StreamingHistogram::new(),
-            last_window: WindowActivity::default(),
-            next_token: 0,
-            completions: Vec::new(),
-            metrics: ServeMetrics::new(),
-        });
+        let (txs, rxs): (Vec<Sender<ShardRequest>>, Vec<Receiver<ShardRequest>>) =
+            (0..shards).map(|_| mpsc::channel()).unzip();
 
         self.listener.set_nonblocking(true)?;
-        std::thread::scope(|scope| -> io::Result<()> {
-            loop {
+        std::thread::scope(|scope| -> io::Result<ServeReport> {
+            let mut workers = Vec::with_capacity(shards);
+            for (shard, rx) in rxs.into_iter().enumerate() {
+                let peers = txs.clone();
+                let (ring, cfg, shared) = (&ring, &self.cfg, &shared);
+                workers.push(scope.spawn(move || {
+                    // Built inside the thread so per-shard preloads run
+                    // in parallel.
+                    ShardWorker::new(shard, ring, cfg, shared, peers).run(rx)
+                }));
+            }
+
+            let mut conns = Vec::new();
+            let accepted = loop {
                 if self.stop.load(Ordering::SeqCst) {
-                    return Ok(());
+                    break Ok(());
                 }
                 match self.listener.accept() {
                     Ok((stream, _peer)) => {
-                        let shared = &shared;
-                        let stop = &self.stop;
-                        scope.spawn(move || {
+                        let shard_txs = txs.clone();
+                        let (ring, shared, stop) = (&ring, &shared, &self.stop);
+                        conns.push(scope.spawn(move || {
                             // I/O errors just drop this connection.
-                            let _ = serve_connection(stream, shared, stop);
-                        });
+                            let _ = serve_connection(stream, ring, shard_txs, shared, stop);
+                        }));
                     }
                     Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                         std::thread::sleep(POLL_INTERVAL);
                     }
                     Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-                    Err(e) => return Err(e),
+                    Err(e) => break Err(e),
                 }
+            };
+            // Shutdown order matters: connections first (they may still
+            // be waiting on worker replies), then the workers. Workers
+            // drain any queued cross-shard applies before exiting.
+            for conn in conns {
+                let _ = conn.join();
             }
-        })?;
-
-        let s = lock(&shared);
-        Ok(ServeReport {
-            operations: s.characterizer.operations(),
-            windows_closed: s.windows_closed,
-            reoptimizations: s.reoptimizations,
-            reconfigurations: s.events.len() as u64,
+            drop(txs);
+            shared.worker_stop.store(true, Ordering::SeqCst);
+            let mut report = ServeReport {
+                operations: 0,
+                windows_closed: 0,
+                reoptimizations: 0,
+                reconfigurations: 0,
+            };
+            for worker in workers {
+                let fin = worker.join().unwrap_or_default();
+                report.operations += fin.operations;
+                report.windows_closed += fin.windows_closed;
+                report.reoptimizations += fin.reoptimizations;
+            }
+            accepted?;
+            report.reconfigurations = lock(&shared.log).events.len() as u64;
+            Ok(report)
         })
     }
 }
 
-/// Locks the shared state, recovering from a poisoned mutex (a panicking
-/// connection thread must not take the daemon down with it).
-fn lock<'a, 't>(shared: &'a Mutex<Shared<'t>>) -> MutexGuard<'a, Shared<'t>> {
-    shared
-        .lock()
-        .unwrap_or_else(|poisoned| poisoned.into_inner())
+/// A worker's queue or reply channel died (it panicked); the connection
+/// cannot make progress.
+fn dead_worker() -> io::Error {
+    io::Error::new(io::ErrorKind::BrokenPipe, "shard worker exited")
 }
 
 fn serve_connection(
     stream: TcpStream,
-    shared: &Mutex<Shared<'_>>,
+    ring: &HashRing,
+    txs: Vec<Sender<ShardRequest>>,
+    shared: &ClusterShared<'_>,
     stop: &AtomicBool,
-) -> io::Result<()> {
-    let mut local = StreamingHistogram::new();
-    let result = connection_loop(stream, shared, stop, &mut local);
-    // Flush the residual merge batch on *every* exit path. This used to
-    // run only after a clean loop exit, so an I/O error could silently
-    // drop up to MERGE_BATCH - 1 recorded latencies.
-    if local.total() > 0 {
-        lock(shared).histogram.merge(&local);
-    }
-    result
-}
-
-fn connection_loop(
-    stream: TcpStream,
-    shared: &Mutex<Shared<'_>>,
-    stop: &AtomicBool,
-    local: &mut StreamingHistogram,
 ) -> io::Result<()> {
     stream.set_nodelay(true).ok();
     stream.set_read_timeout(Some(POLL_INTERVAL))?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = stream;
-    let mut pending = 0u64;
-    // Scratch buffers reused across frames: `line` for the inbound frame,
-    // `out` for the encoded response (a batch response serializes into it
-    // and hits the socket as one write, newline included).
-    let mut line = String::new();
-    let mut out = String::new();
+    // Scratch buffers reused across bursts: inbound frames and their
+    // encoded responses (newline included).
+    let mut lines: Vec<String> = vec![String::new()];
+    let mut outs: Vec<String> = Vec::new();
 
     loop {
-        line.clear();
+        lines[0].clear();
         // Accumulate one full line; a read timeout mid-frame keeps the
         // partial line and re-polls so no bytes are lost.
         let appended = loop {
-            match reader.read_line(&mut line) {
+            match reader.read_line(&mut lines[0]) {
                 Ok(n) => break n,
                 Err(e)
                     if matches!(
@@ -324,22 +310,54 @@ fn connection_loop(
                 Err(e) => return Err(e),
             }
         };
-        if appended == 0 && line.is_empty() {
+        if appended == 0 && lines[0].is_empty() {
             return Ok(()); // clean EOF
         }
-        if line.trim().is_empty() {
-            if appended == 0 {
-                return Ok(());
+        let eof = appended == 0;
+        // A pipelining client may have more complete frames already
+        // sitting in the read buffer; drain them (bounded) so their
+        // responses can leave in one vectored write.
+        let mut count = 1;
+        while !eof && count < MAX_BURST && reader.buffer().contains(&b'\n') {
+            if lines.len() == count {
+                lines.push(String::new());
             }
-            continue;
+            lines[count].clear();
+            match reader.read_line(&mut lines[count]) {
+                Ok(0) => break,
+                Ok(_) => count += 1,
+                Err(_) => break, // next blocking read surfaces the error
+            }
         }
-        let response = respond(&line, shared, stop, local, &mut pending);
-        let bye = response == Response::Bye;
-        out.clear();
-        response.to_json().encode_into(&mut out);
-        out.push('\n');
-        writer.write_all(out.as_bytes())?;
-        if bye || appended == 0 {
+
+        let mut bye = false;
+        let mut n_out = 0;
+        for line in lines.iter().take(count) {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let response = respond(line, ring, &txs, shared, stop)?;
+            bye = response == Response::Bye;
+            if outs.len() == n_out {
+                outs.push(String::new());
+            }
+            outs[n_out].clear();
+            response.to_json().encode_into(&mut outs[n_out]);
+            outs[n_out].push('\n');
+            n_out += 1;
+            if bye {
+                break;
+            }
+        }
+        match n_out {
+            0 => {}
+            1 => writer.write_all(outs[0].as_bytes())?,
+            _ => {
+                let bufs: Vec<&[u8]> = outs[..n_out].iter().map(|s| s.as_bytes()).collect();
+                write_all_vectored(&mut writer, &bufs)?;
+            }
+        }
+        if bye || eof {
             return Ok(());
         }
     }
@@ -347,11 +365,11 @@ fn connection_loop(
 
 fn respond(
     line: &str,
-    shared: &Mutex<Shared<'_>>,
+    ring: &HashRing,
+    txs: &[Sender<ShardRequest>],
+    shared: &ClusterShared<'_>,
     stop: &AtomicBool,
-    local: &mut StreamingHistogram,
-    pending: &mut u64,
-) -> Response {
+) -> io::Result<Response> {
     // Canonical batch frames (the hot path for batched load) decode
     // without building a `Json` tree; anything else — including
     // malformed or oversized batches — goes through the generic parser,
@@ -362,203 +380,178 @@ fn respond(
             let parsed = match Json::parse(line.trim()) {
                 Ok(v) => v,
                 Err(e) => {
-                    return Response::Error {
+                    return Ok(Response::Error {
                         message: format!("malformed json: {e}"),
-                    }
+                    })
                 }
             };
             match Request::from_json(&parsed) {
                 Ok(r) => r,
-                Err(message) => return Response::Error { message },
+                Err(message) => return Ok(Response::Error { message }),
             }
         }
     };
-    match request {
+    Ok(match request {
         Request::Op(op) => {
-            let latency_us = execute_op(&mut lock(shared), op);
-            local.record(latency_us);
-            *pending += 1;
-            if *pending >= MERGE_BATCH {
-                lock(shared).histogram.merge(local);
-                *local = StreamingHistogram::new();
-                *pending = 0;
+            let (reply_tx, reply_rx) = mpsc::channel();
+            txs[ring.shard_of(op.key.0)]
+                .send(ShardRequest::Ops {
+                    ops: vec![(0, op)],
+                    reply: reply_tx,
+                })
+                .map_err(|_| dead_worker())?;
+            let reply = reply_rx.recv().map_err(|_| dead_worker())?;
+            Response::Done {
+                latency_us: reply.latencies[0].1,
             }
-            Response::Done { latency_us }
         }
         Request::Batch(items) => {
-            // One lock acquisition for the whole frame (see the module
-            // docs). Ops still execute sequentially to completion, so
-            // windows close and reconfigurations apply between ops with
-            // the engine quiescent, exactly as in the single-op path.
-            let mut s = lock(shared);
-            let results = items
-                .into_iter()
-                .map(|item| match item {
+            // Scatter the frame's ops to their owning shards (each
+            // executes its slice sequentially, shards in parallel), then
+            // gather the latencies back into frame order.
+            let mut results: Vec<BatchResult> = Vec::with_capacity(items.len());
+            let mut per_shard: Vec<Vec<(usize, Operation)>> = vec![Vec::new(); txs.len()];
+            for (index, item) in items.into_iter().enumerate() {
+                match item {
                     Ok(op) => {
-                        let latency_us = execute_op(&mut s, op);
-                        local.record(latency_us);
-                        *pending += 1;
-                        BatchResult::Done { latency_us }
+                        per_shard[ring.shard_of(op.key.0)].push((index, op));
+                        // Placeholder, overwritten by the shard's reply.
+                        results.push(BatchResult::Done { latency_us: 0 });
                     }
-                    Err(message) => BatchResult::Error { message },
-                })
-                .collect();
-            if *pending >= MERGE_BATCH {
-                s.histogram.merge(local);
-                *local = StreamingHistogram::new();
-                *pending = 0;
+                    Err(message) => results.push(BatchResult::Error { message }),
+                }
+            }
+            let (reply_tx, reply_rx) = mpsc::channel();
+            let mut expected = 0usize;
+            for (shard, ops) in per_shard.into_iter().enumerate() {
+                if ops.is_empty() {
+                    continue;
+                }
+                txs[shard]
+                    .send(ShardRequest::Ops {
+                        ops,
+                        reply: reply_tx.clone(),
+                    })
+                    .map_err(|_| dead_worker())?;
+                expected += 1;
+            }
+            drop(reply_tx);
+            for _ in 0..expected {
+                let OpsReply { latencies } = reply_rx.recv().map_err(|_| dead_worker())?;
+                for (index, latency_us) in latencies {
+                    results[index] = BatchResult::Done { latency_us };
+                }
             }
             Response::Batch(results)
         }
-        Request::Stats => {
-            let mut s = lock(shared);
-            // Fold this client's not-yet-merged samples in first, so a
-            // client's own view is always up to date.
-            s.histogram.merge(local);
-            *local = StreamingHistogram::new();
-            *pending = 0;
-            Response::Stats(stats_of(&s))
-        }
+        Request::Stats => Response::Stats(stats_of(&gather_snapshots(txs)?, shared)),
         Request::Config => {
-            let s = lock(shared);
+            let snapshots = gather_snapshots(txs)?;
+            let log = lock(&shared.log);
             Response::Config(ConfigReport {
-                active: ConfigSummary::from(s.engine.config()),
-                events: s.events.clone(),
+                active: snapshots[0].active.clone(),
+                events: log.events.clone(),
+                shards: snapshots
+                    .iter()
+                    .map(|s| ShardConfig {
+                        shard: s.shard as u64,
+                        active: s.active.clone(),
+                    })
+                    .collect(),
+                cluster_events: log.cluster.clone(),
             })
         }
-        Request::Metrics => {
-            let s = lock(shared);
-            Response::Metrics(metrics_of(&s))
-        }
+        Request::Metrics => Response::Metrics(metrics_of(shared)),
         Request::Shutdown => {
             stop.store(true, Ordering::SeqCst);
             Response::Bye
         }
+    })
+}
+
+/// Asks every shard for a state snapshot and gathers the replies in
+/// shard order.
+fn gather_snapshots(txs: &[Sender<ShardRequest>]) -> io::Result<Vec<ShardSnapshot>> {
+    let (reply_tx, reply_rx) = mpsc::channel();
+    for tx in txs {
+        tx.send(ShardRequest::Snapshot {
+            reply: reply_tx.clone(),
+        })
+        .map_err(|_| dead_worker())?;
+    }
+    drop(reply_tx);
+    let mut snapshots = Vec::with_capacity(txs.len());
+    for _ in 0..txs.len() {
+        snapshots.push(reply_rx.recv().map_err(|_| dead_worker())?);
+    }
+    snapshots.sort_by_key(|s| s.shard);
+    Ok(snapshots)
+}
+
+/// Summarizes a latency histogram into the wire form.
+fn latency_of(h: &StreamingHistogram) -> LatencySummary {
+    LatencySummary {
+        count: h.total(),
+        mean_us: h.mean().unwrap_or(0.0),
+        p50_us: h.quantile(0.5).unwrap_or(0),
+        p95_us: h.quantile(0.95).unwrap_or(0),
+        p99_us: h.quantile(0.99).unwrap_or(0),
+        max_us: h.max().unwrap_or(0),
     }
 }
 
-/// Runs one operation on the simulated clock to completion, feeds it to
-/// the characterizer, and lets the controller react to a closed window.
-fn execute_op(s: &mut Shared<'_>, op: Operation) -> u64 {
-    let token = s.next_token;
-    s.next_token += 1;
-    let ready = s.engine.clock();
-    s.engine.submit(token, op, ready);
-    s.completions.clear();
-    let latency_us = 'done: loop {
-        let stepped = s.engine.step_into(&mut s.completions);
-        debug_assert!(stepped, "a submitted operation always completes");
-        if !stepped {
-            break 0;
-        }
-        for c in s.completions.drain(..) {
-            if c.token == token {
-                break 'done c.latency().0 / 1_000;
-            }
-        }
-    };
-    s.metrics.ops_total.inc();
-    s.window_histogram.record(latency_us);
-    s.histogram_window_hook(op);
-    latency_us
-}
-
-impl Shared<'_> {
-    /// Post-op bookkeeping: characterize, and close the window when this
-    /// operation completed one.
-    fn histogram_window_hook(&mut self, op: Operation) {
-        if let Some(summary) = self.characterizer.observe(&op) {
-            self.close_window(summary);
-        }
+/// Builds the `stats` report: per-shard rows straight from the
+/// snapshots, and the aggregate merged *exactly* from the same snapshots
+/// — ratios from summed sufficient statistics (Σreads/Σops,
+/// Σdistance_sum/Σdistance_count), latency quantiles from the merged
+/// histograms — so per-shard rows always sum to the aggregate, and a
+/// one-shard cluster reports exactly what the pre-sharding daemon did.
+/// The aggregate `last_window` is the most recently closed window in
+/// real time, whatever shard it closed on — the one field that can
+/// differ between otherwise identical multi-shard runs.
+fn stats_of(snapshots: &[ShardSnapshot], shared: &ClusterShared<'_>) -> StatsReport {
+    let operations: u64 = snapshots.iter().map(|s| s.operations).sum();
+    let reads: u64 = snapshots.iter().map(|s| s.reads).sum();
+    let distance_count: u64 = snapshots.iter().map(|s| s.distance_count).sum();
+    let distance_sum: f64 = snapshots.iter().map(|s| s.distance_sum).sum();
+    let mut merged = StreamingHistogram::new();
+    for s in snapshots {
+        merged.merge(&s.histogram);
     }
-
-    fn close_window(&mut self, window: WindowSummary) {
-        self.windows_closed += 1;
-        self.metrics.windows_closed_total.inc();
-        self.metrics.read_ratio.set(window.read_ratio);
-        let snapshot = *self.engine.metrics();
-        let delta = snapshot.delta(&self.window_start_metrics);
-        self.window_start_metrics = snapshot;
-        self.last_window = WindowActivity {
-            reads_completed: delta.reads_completed,
-            writes_completed: delta.writes_completed,
-            flushes: delta.flushes,
-            compactions: delta.compactions,
-            p50_us: self.window_histogram.quantile(0.5).unwrap_or(0),
-            p99_us: self.window_histogram.quantile(0.99).unwrap_or(0),
-        };
-        // Completed-window latencies flow into the registry histogram;
-        // the per-window one restarts empty for the next window.
-        self.metrics.latency_us.merge_from(&self.window_histogram);
-        self.window_histogram = StreamingHistogram::new();
-        // Observed throughput over the window on the simulated clock.
-        let now = self.engine.clock();
-        let elapsed_s = now.0.saturating_sub(self.window_start_clock.0) as f64 / 1e9;
-        let window_ops = delta.reads_completed + delta.writes_completed;
-        let observed_throughput = if elapsed_s > 0.0 {
-            window_ops as f64 / elapsed_s
-        } else {
+    StatsReport {
+        operations,
+        read_ratio: if operations == 0 {
             0.0
-        };
-        self.window_start_clock = now;
-        if obs::enabled(obs::Level::Info) {
-            obs::event(
-                "serve",
-                "window_close",
-                obs::Level::Info,
-                vec![
-                    ("window", Value::U64(window.index as u64)),
-                    ("read_ratio", Value::F64(window.read_ratio)),
-                    ("ops", Value::U64(window_ops)),
-                    ("observed_throughput", Value::F64(observed_throughput)),
-                    ("p50_us", Value::U64(self.last_window.p50_us)),
-                    ("p99_us", Value::U64(self.last_window.p99_us)),
-                    ("flushes", Value::U64(delta.flushes)),
-                    ("compactions", Value::U64(delta.compactions)),
-                ],
-            );
-        }
-        // The tuner was checked at construction, so the controller cannot
-        // fail here; a defensive skip keeps the daemon serving regardless.
-        let Ok(decision) = self
-            .controller
-            .observe_window(window.index, window.read_ratio)
-        else {
-            return;
-        };
-        if decision.reoptimized {
-            self.reoptimizations += 1;
-            self.metrics.reoptimizations_total.inc();
-        }
-        if decision.switched {
-            let cfg = self.controller.active_config().clone();
-            // Every foreground op is stepped to completion under the lock,
-            // so the engine is quiescent here and the swap is safe.
-            let outcome = self.engine.reconfigure(cfg);
-            self.metrics.reconfigurations_total.inc();
-            self.events.push(ReconfigEvent {
-                window: window.index as u64,
-                read_ratio: window.read_ratio,
-                predicted_throughput: decision.predicted_throughput,
-                to: ConfigSummary::from(self.engine.config()),
-                diff: outcome
-                    .changed
-                    .iter()
-                    .map(|c| ParamChange {
-                        param: c.name.to_string(),
-                        from: c.from,
-                        to: c.to,
-                    })
-                    .collect(),
-                apply_us: outcome.apply_us,
-            });
-        }
+        } else {
+            reads as f64 / operations as f64
+        },
+        krd_mean: (distance_count > 0).then(|| distance_sum / distance_count as f64),
+        windows_closed: snapshots.iter().map(|s| s.windows_closed).sum(),
+        reoptimizations: snapshots.iter().map(|s| s.reoptimizations).sum(),
+        reconfigurations: snapshots.iter().map(|s| s.reconfigurations).sum(),
+        latency: latency_of(&merged),
+        last_window: *lock(&shared.last_window),
+        shards: snapshots
+            .iter()
+            .map(|s| ShardStats {
+                shard: s.shard as u64,
+                operations: s.operations,
+                read_ratio: s.read_ratio,
+                krd_mean: s.krd_mean,
+                windows_closed: s.windows_closed,
+                reoptimizations: s.reoptimizations,
+                reconfigurations: s.reconfigurations,
+                latency: latency_of(&s.histogram),
+                last_window: s.last_window,
+            })
+            .collect(),
     }
 }
 
-/// Snapshots the registry into the wire-level report.
-fn metrics_of(s: &Shared<'_>) -> MetricsReport {
-    let snapshot = s.metrics.registry.snapshot();
+/// Snapshots the registry into the wire-level report. Includes both the
+/// aggregate series and every `{shard="N"}`-labeled series.
+fn metrics_of(shared: &ClusterShared<'_>) -> MetricsReport {
+    let snapshot = shared.registry.snapshot();
     let prometheus = snapshot.prometheus_text();
     MetricsReport {
         counters: snapshot.counters,
@@ -581,26 +574,5 @@ fn metrics_of(s: &Shared<'_>) -> MetricsReport {
             })
             .collect(),
         prometheus,
-    }
-}
-
-fn stats_of(s: &Shared<'_>) -> StatsReport {
-    let h = &s.histogram;
-    StatsReport {
-        operations: s.characterizer.operations(),
-        read_ratio: s.characterizer.read_ratio(),
-        krd_mean: s.characterizer.krd_mean(),
-        windows_closed: s.windows_closed,
-        reoptimizations: s.reoptimizations,
-        reconfigurations: s.events.len() as u64,
-        latency: LatencySummary {
-            count: h.total(),
-            mean_us: h.mean().unwrap_or(0.0),
-            p50_us: h.quantile(0.5).unwrap_or(0),
-            p95_us: h.quantile(0.95).unwrap_or(0),
-            p99_us: h.quantile(0.99).unwrap_or(0),
-            max_us: h.max().unwrap_or(0),
-        },
-        last_window: s.last_window,
     }
 }

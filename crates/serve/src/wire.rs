@@ -392,6 +392,54 @@ impl<'a> Parser<'a> {
     }
 }
 
+/// Writes every buffer in `bufs`, in order, using vectored I/O
+/// (`writev`) so a burst of response frames leaves in as few syscalls
+/// as the socket accepts — the server's answer to clients that pipeline
+/// several frames per read. The stable-Rust stand-in for the unstable
+/// `Write::write_all_vectored`.
+///
+/// # Errors
+///
+/// Propagates the underlying I/O error; [`std::io::ErrorKind::WriteZero`]
+/// when the writer stops accepting bytes.
+pub fn write_all_vectored(w: &mut impl std::io::Write, bufs: &[&[u8]]) -> std::io::Result<()> {
+    use std::io::{Error, ErrorKind, IoSlice};
+    // (buffer index, bytes of it already written)
+    let mut idx = 0;
+    let mut offset = 0;
+    // Reused slice table; rebuilt after every partial write.
+    let mut slices: Vec<IoSlice<'_>> = Vec::with_capacity(bufs.len());
+    loop {
+        while idx < bufs.len() && offset == bufs[idx].len() {
+            idx += 1;
+            offset = 0;
+        }
+        if idx == bufs.len() {
+            return Ok(());
+        }
+        slices.clear();
+        slices.push(IoSlice::new(&bufs[idx][offset..]));
+        slices.extend(bufs[idx + 1..].iter().map(|b| IoSlice::new(b)));
+        let mut n = match w.write_vectored(&slices) {
+            Ok(0) => return Err(Error::new(ErrorKind::WriteZero, "socket stopped accepting")),
+            Ok(n) => n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        // Advance (idx, offset) past the n bytes just written.
+        while n > 0 {
+            let remaining = bufs[idx].len() - offset;
+            if n < remaining {
+                offset += n;
+                break;
+            }
+            n -= remaining;
+            idx += 1;
+            offset = 0;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -469,5 +517,76 @@ mod tests {
     fn unicode_survives_round_trip() {
         let v = Json::Str("métagénomique 🧬".to_string());
         assert_eq!(Json::parse(&v.encode()).unwrap(), v);
+    }
+
+    /// A writer that accepts at most `cap` bytes per call, exercising
+    /// the partial-write resume logic in [`write_all_vectored`].
+    struct Dribble {
+        out: Vec<u8>,
+        cap: usize,
+    }
+
+    impl std::io::Write for Dribble {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            let n = buf.len().min(self.cap);
+            self.out.extend_from_slice(&buf[..n]);
+            Ok(n)
+        }
+        fn write_vectored(&mut self, bufs: &[std::io::IoSlice<'_>]) -> std::io::Result<usize> {
+            let mut budget = self.cap;
+            let mut written = 0;
+            for b in bufs {
+                let n = b.len().min(budget);
+                self.out.extend_from_slice(&b[..n]);
+                written += n;
+                budget -= n;
+                if budget == 0 {
+                    break;
+                }
+            }
+            Ok(written)
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn write_all_vectored_survives_partial_writes() {
+        for cap in [1, 2, 3, 7, 1024] {
+            let mut w = Dribble {
+                out: Vec::new(),
+                cap,
+            };
+            write_all_vectored(
+                &mut w,
+                &[b"frame one\n", b"", b"frame two\n", b"x", b"", b"tail\n"],
+            )
+            .expect("all bytes land");
+            assert_eq!(w.out, b"frame one\nframe two\nxtail\n", "cap {cap}");
+        }
+        // Empty input (and all-empty buffers) write nothing successfully.
+        let mut w = Dribble {
+            out: Vec::new(),
+            cap: 4,
+        };
+        write_all_vectored(&mut w, &[]).unwrap();
+        write_all_vectored(&mut w, &[b"", b""]).unwrap();
+        assert!(w.out.is_empty());
+    }
+
+    #[test]
+    fn write_all_vectored_reports_write_zero() {
+        struct Dead;
+        impl std::io::Write for Dead {
+            fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+                Ok(0)
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let err = write_all_vectored(&mut Dead, &[b"data"]).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::WriteZero);
     }
 }

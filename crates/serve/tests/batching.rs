@@ -54,6 +54,7 @@ fn serve_config() -> ServeConfig {
         },
         preload_keys: 5_000,
         preload_payload: 200,
+        ..ServeConfig::default()
     }
 }
 

@@ -104,6 +104,7 @@ fn scenario() {
         },
         preload_keys: 20_000,
         preload_payload: 1_000,
+        ..ServeConfig::default()
     };
     let server = Server::bind("127.0.0.1:0", tuner, serve_cfg).expect("bind ephemeral port");
     let addr = server.local_addr().expect("local addr");

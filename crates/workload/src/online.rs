@@ -201,6 +201,21 @@ impl OnlineCharacterizer {
         (self.distance_count > 0).then(|| self.distance_sum / self.distance_count as f64)
     }
 
+    /// Reads observed over the whole stream. Together with
+    /// [`operations`](Self::operations) this is the sufficient statistic
+    /// for merging read ratios across shards exactly:
+    /// `Σreads / Σoperations`.
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Sum of observed reuse distances over the whole stream. Together
+    /// with [`distances_observed`](Self::distances_observed) this merges
+    /// KRD means across shards exactly: `Σdistance_sum / Σdistance_count`.
+    pub fn distance_sum(&self) -> f64 {
+        self.distance_sum
+    }
+
     /// Number of reuse distances observed.
     pub fn distances_observed(&self) -> u64 {
         self.distance_count
