@@ -3,7 +3,7 @@
 //! throughput. This is the "ground truth" oracle Rafiki samples during its
 //! data-collection phase and that exhaustive search queries directly.
 
-use rafiki_engine::{run_benchmark, Engine, EngineConfig, ServerSpec};
+use rafiki_engine::{run_benchmark, Engine, EngineConfig, EngineSnapshot, ServerSpec};
 use rafiki_stats::parallel_indexed;
 use rafiki_workload::{BenchmarkResult, BenchmarkSpec, WorkloadGenerator, WorkloadSpec};
 use serde::{Deserialize, Serialize};
@@ -81,12 +81,31 @@ impl EvalContext {
         }
     }
 
-    fn build_engine(&self, cfg: &EngineConfig) -> Engine {
+    /// A preload snapshot sized for this context, for
+    /// [`EvalContext::measure_detailed_seeded_snapshot`]: engines
+    /// hydrated from it are bit-identical to freshly preloaded ones, and
+    /// the preload work is paid once per distinct layout instead of once
+    /// per measurement.
+    pub fn snapshot(&self) -> EngineSnapshot {
+        EngineSnapshot::new(self.preload_keys, self.preload_payload)
+    }
+
+    fn build_engine_with(&self, cfg: &EngineConfig, snap: Option<&EngineSnapshot>) -> Engine {
         let mut engine = match self.flavor {
             DbFlavor::Cassandra => Engine::new(cfg.clone(), self.server),
             DbFlavor::Scylla => rafiki_engine::scylla_engine(cfg, self.server),
         };
-        engine.preload(self.preload_keys, self.preload_payload);
+        match snap {
+            Some(snap) => {
+                assert_eq!(
+                    (snap.keys(), snap.payload_len()),
+                    (self.preload_keys, self.preload_payload),
+                    "snapshot was built for a different preload"
+                );
+                engine.preload_from(snap);
+            }
+            None => engine.preload(self.preload_keys, self.preload_payload),
+        }
         engine
     }
 
@@ -104,7 +123,22 @@ impl EvalContext {
         cfg: &EngineConfig,
         workload_seed: u64,
     ) -> BenchmarkResult {
-        let mut engine = self.build_engine(cfg);
+        self.measure_detailed_seeded_snapshot(read_ratio, cfg, workload_seed, None)
+    }
+
+    /// Like [`EvalContext::measure_detailed_seeded`], but hydrates the
+    /// engine from `snapshot` when one is supplied instead of replaying
+    /// the preload. Results are bit-identical either way (pinned by
+    /// test); passing a snapshot shared across many measurements is
+    /// purely a wall-clock optimization.
+    pub fn measure_detailed_seeded_snapshot(
+        &self,
+        read_ratio: f64,
+        cfg: &EngineConfig,
+        workload_seed: u64,
+        snapshot: Option<&EngineSnapshot>,
+    ) -> BenchmarkResult {
+        let mut engine = self.build_engine_with(cfg, snapshot);
         let spec = WorkloadSpec {
             read_ratio,
             ..self.workload
@@ -141,9 +175,11 @@ impl EvalContext {
     /// as an error by [`rafiki_stats::parallel_indexed`], not a
     /// poisoned-lock abort).
     pub fn measure_many(&self, points: &[(f64, EngineConfig)]) -> Vec<f64> {
+        let snap = self.snapshot();
         parallel_indexed(points.len(), |i| {
             let (rr, cfg) = &points[i];
-            self.measure(*rr, cfg)
+            self.measure_detailed_seeded_snapshot(*rr, cfg, self.seed.wrapping_add(1), Some(&snap))
+                .avg_ops_per_sec
         })
         .expect("measurement worker panicked")
     }

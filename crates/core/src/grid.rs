@@ -41,15 +41,27 @@ impl EvalContext {
     }
 
     /// Measures grid point `index` of `points` with its index-derived
-    /// seed. The unit of work both grid runners share.
-    fn measure_grid_point(&self, points: &[GridPoint], index: usize) -> BenchmarkResult {
+    /// seed, hydrating the engine from `snap`. The unit of work both
+    /// grid runners share.
+    fn measure_grid_point(
+        &self,
+        points: &[GridPoint],
+        index: usize,
+        snap: &rafiki_engine::EngineSnapshot,
+    ) -> BenchmarkResult {
         let (rr, cfg) = &points[index];
-        self.measure_detailed_seeded(*rr, cfg, self.point_seed(index))
+        self.measure_detailed_seeded_snapshot(*rr, cfg, self.point_seed(index), Some(snap))
     }
 
     /// Runs every grid point in parallel across OS threads and returns
     /// the detailed results in point order — bit-identical to
     /// [`EvalContext::run_grid_sequential`].
+    ///
+    /// Both runners build one [`rafiki_engine::EngineSnapshot`] for the
+    /// whole grid: the preload layout is constructed once per distinct
+    /// (compaction method, bloom, block size) combination and every
+    /// point's engine is hydrated from it — bit-identical to a fresh
+    /// preload, but the per-point preload replay cost is gone.
     ///
     /// # Panics
     ///
@@ -57,16 +69,20 @@ impl EvalContext {
     /// the panic surfaces as an error from the worker scope first, so no
     /// lock is poisoned and no partial results leak.
     pub fn run_grid(&self, points: &[GridPoint]) -> Vec<BenchmarkResult> {
-        parallel_indexed(points.len(), |i| self.measure_grid_point(points, i))
+        let snap = self.snapshot();
+        parallel_indexed(points.len(), |i| self.measure_grid_point(points, i, &snap))
             .expect("grid worker panicked")
     }
 
     /// The sequential reference loop: same seeds, same order, one point
-    /// at a time. Exists so the determinism contract is testable and the
-    /// `grid_speedup` experiment can report honest wall-time ratios.
+    /// at a time (with the same per-grid snapshot reuse as
+    /// [`EvalContext::run_grid`]). Exists so the determinism contract is
+    /// testable and the `grid_speedup` experiment can report honest
+    /// wall-time ratios.
     pub fn run_grid_sequential(&self, points: &[GridPoint]) -> Vec<BenchmarkResult> {
+        let snap = self.snapshot();
         (0..points.len())
-            .map(|i| self.measure_grid_point(points, i))
+            .map(|i| self.measure_grid_point(points, i, &snap))
             .collect()
     }
 
@@ -109,6 +125,27 @@ mod tests {
         assert_eq!(sequential, parallel);
         // And the parallel path is itself reproducible.
         assert_eq!(parallel, ctx.run_grid(&points));
+    }
+
+    #[test]
+    fn snapshot_hydrated_point_matches_fresh_preload() {
+        // The scored result of a grid point must not depend on whether
+        // its engine came from a snapshot or a fresh preload — across
+        // both compaction layouts.
+        let ctx = EvalContext::small();
+        let snap = ctx.snapshot();
+        for method in [
+            rafiki_engine::CompactionMethod::SizeTiered,
+            rafiki_engine::CompactionMethod::Leveled,
+        ] {
+            let mut cfg = EngineConfig::default();
+            cfg.compaction_method = method;
+            let seed = ctx.point_seed(3);
+            let fresh = ctx.measure_detailed_seeded(0.7, &cfg, seed);
+            let hydrated = ctx.measure_detailed_seeded_snapshot(0.7, &cfg, seed, Some(&snap));
+            assert_eq!(fresh, hydrated, "results diverged under {method:?}");
+        }
+        assert_eq!(snap.variant_count(), 2);
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //! - [`compaction`] — size-tiered and leveled strategies;
 //! - [`config`] — the 25-parameter catalog and the server hardware spec;
 //! - [`server`] — the single-node engine event loop;
+//! - [`snapshot`] — prebuilt preload states for snapshot-reuse grids;
 //! - [`mod@bench`] — the closed-loop YCSB-like benchmark driver;
 //! - [`scylla`] — the ScyllaDB-like auto-tuning variant;
 //! - [`cluster`] — token-ring replication across multiple nodes.
@@ -51,6 +52,7 @@ pub mod metrics;
 pub mod scylla;
 pub mod server;
 pub mod sim;
+pub mod snapshot;
 pub mod store;
 
 pub use bench::run_benchmark;
@@ -65,3 +67,4 @@ pub use metrics::EngineMetrics;
 pub use scylla::{scylla_effective_config, scylla_engine, scylla_ignored_params, ScyllaTuner};
 pub use server::{Engine, Flavor, OpCompletion, OpToken, ReconfigOutcome, REPLICA_TOKEN};
 pub use sim::{SimDuration, SimTime};
+pub use snapshot::EngineSnapshot;

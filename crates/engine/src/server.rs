@@ -23,6 +23,7 @@ use crate::fasthash::{FastHashMap, FastHashSet};
 use crate::metrics::EngineMetrics;
 use crate::scylla::ScyllaTuner;
 use crate::sim::{CpuModel, DiskDevice, DiskReq, SimDuration, SimTime, WorkerPool};
+use crate::snapshot::{self, EngineSnapshot};
 use crate::store::{CommitLog, LruCache, Memtable, PayloadArena, Row, SsTable, TableId, TableSet};
 use rafiki_obs as obs;
 use rafiki_workload::{Key, OpKind, Operation};
@@ -440,53 +441,51 @@ impl Engine {
             self.tables.is_empty() && self.memtable.is_empty(),
             "preload must run on a fresh engine"
         );
-        assert!(keys > 0, "preload needs at least one key");
-        let fp = self.cfg.bloom_filter_fp_chance;
-        let block = self.spec.block_bytes;
-        match self.cfg.compaction_method {
-            CompactionMethod::SizeTiered => {
-                // Eight overlapping runs; each key has three versions
-                // spread over three different runs — the steady state of a
-                // store that has absorbed interleaved updates, where "data
-                // for a given key value may be spread over multiple
-                // SSTables" (§2.2.1).
-                const RUNS: u64 = 8;
-                for run in 0..RUNS {
-                    let members: Vec<u64> = (0..keys)
-                        .filter(|&k| {
-                            let offset = (run + RUNS - (k % RUNS)) % RUNS;
-                            matches!(offset, 0 | 3 | 5) && owns(k)
-                        })
-                        .collect();
-                    if members.is_empty() {
-                        continue;
-                    }
-                    let rows: Vec<Row> = members
-                        .into_iter()
-                        .map(|k| self.make_row_raw(Key(k), payload_len))
-                        .collect();
-                    let id = self.tables.allocate_id();
-                    self.tables.add(SsTable::from_rows(id, 0, rows, fp, block));
-                }
-            }
-            CompactionMethod::Leveled => {
-                // Non-overlapping key-partitioned tables split between L1
-                // and L2, as leveled compaction maintains.
-                let target = self.strategy.output_target_bytes();
-                let rows_per_table = (target / (payload_len as u64 + 32)).max(1).min(keys) as usize;
-                let owned: Vec<u64> = (0..keys).filter(|&k| owns(k)).collect();
-                for (i, chunk) in owned.chunks(rows_per_table).enumerate() {
-                    let rows: Vec<Row> = chunk
-                        .iter()
-                        .map(|&k| self.make_row_raw(Key(k), payload_len))
-                        .collect();
-                    let id = self.tables.allocate_id();
-                    let level = 1 + (i % 2) as u8;
-                    self.tables
-                        .add(SsTable::from_rows(id, level, rows, fp, block));
-                }
-            }
+        let base = snapshot::build_preload_base(
+            keys,
+            payload_len,
+            self.preload_signature(),
+            &self.arena,
+            owns,
+        );
+        self.install_preload(base.tables, base.version_counter);
+    }
+
+    /// Hydrates this fresh engine from a prebuilt [`EngineSnapshot`]
+    /// instead of replaying the preload: the snapshot's table set for
+    /// this engine's preload signature is cloned in (a refcount bump per
+    /// table — table bodies are shared, immutable). State after this
+    /// call is bit-identical to [`Engine::preload`] with the snapshot's
+    /// key count and payload length: both paths run the same builder.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called more than once or after operations ran.
+    pub fn preload_from(&mut self, snap: &EngineSnapshot) {
+        assert!(
+            self.tables.is_empty() && self.memtable.is_empty(),
+            "preload must run on a fresh engine"
+        );
+        let base = snap.base_for(self.preload_signature());
+        self.install_preload(base.tables.clone(), base.version_counter);
+    }
+
+    /// The inputs the preload layout depends on (see
+    /// [`snapshot::SnapshotKey`]).
+    fn preload_signature(&self) -> snapshot::SnapshotKey {
+        snapshot::SnapshotKey {
+            method: self.cfg.compaction_method,
+            fp_bits: self.cfg.bloom_filter_fp_chance.to_bits(),
+            block_bytes: self.spec.block_bytes,
+            leveled_target: self.strategy.output_target_bytes(),
         }
+    }
+
+    /// Installs a built preload: adopts the tables and version counter,
+    /// warms the OS cache, and kicks off steady-state compaction work.
+    fn install_preload(&mut self, tables: TableSet, version_counter: u64) {
+        self.tables = tables;
+        self.version_counter = version_counter;
         // Warm the OS cache with the preloaded blocks (a long-running
         // server's working set is resident).
         let ids: Vec<(TableId, u32)> = self
@@ -1227,6 +1226,69 @@ mod tests {
             "compactions = {}",
             e.metrics().compactions
         );
+    }
+
+    #[test]
+    fn snapshot_hydration_is_bit_identical_to_fresh_preload() {
+        // The determinism contract behind snapshot-reuse grids: an engine
+        // hydrated from an EngineSnapshot must be indistinguishable from
+        // one that replayed the preload — same completions, same metrics —
+        // for both preload layouts, and the equivalence must survive a
+        // live reconfigure.
+        let snap = EngineSnapshot::new(50_000, 1_000);
+        let ops = || -> Vec<Operation> {
+            (0..3_000)
+                .map(|i| {
+                    if i % 4 == 0 {
+                        Operation::insert(Key(60_000 + i), 500)
+                    } else {
+                        Operation::read(Key(i * 13 % 50_000))
+                    }
+                })
+                .collect()
+        };
+        for method in [CompactionMethod::SizeTiered, CompactionMethod::Leveled] {
+            let mut cfg = EngineConfig::default();
+            cfg.compaction_method = method;
+
+            let mut fresh = Engine::new(cfg.clone(), ServerSpec::default());
+            fresh.preload(50_000, 1_000);
+            let mut hydrated = Engine::new(cfg.clone(), ServerSpec::default());
+            hydrated.preload_from(&snap);
+
+            assert_eq!(fresh.table_count(), hydrated.table_count());
+            assert_eq!(fresh.on_disk_bytes(), hydrated.on_disk_bytes());
+
+            let a = run_ops(&mut fresh, ops());
+            let b = run_ops(&mut hydrated, ops());
+            assert_eq!(a, b, "completions diverged under {method:?}");
+            assert_eq!(
+                fresh.metrics(),
+                hydrated.metrics(),
+                "metrics diverged under {method:?}"
+            );
+
+            // Reconfigure both identically and keep going: hydrated state
+            // must stay equivalent across the boundary.
+            let mut next = cfg.clone();
+            next.concurrent_reads = cfg.concurrent_reads * 2;
+            next.file_cache_size_mb = cfg.file_cache_size_mb / 2 + 1;
+            fresh.reconfigure(next.clone());
+            hydrated.reconfigure(next);
+            let a = run_ops(&mut fresh, ops());
+            let b = run_ops(&mut hydrated, ops());
+            assert_eq!(
+                a, b,
+                "post-reconfigure completions diverged under {method:?}"
+            );
+            assert_eq!(
+                fresh.metrics(),
+                hydrated.metrics(),
+                "post-reconfigure metrics diverged under {method:?}"
+            );
+        }
+        // Both layouts were materialized from one snapshot.
+        assert_eq!(snap.variant_count(), 2);
     }
 
     #[test]

@@ -3,15 +3,29 @@
 //! Writes are batched in the memtable until it crosses the flush threshold
 //! (`memtable_cleanup_threshold x memtable space`), at which point it is
 //! frozen and written out as an SSTable.
+//!
+//! Point reads vastly outnumber ordered traversals on the hot path, so
+//! the memtable is a hybrid: rows live in an append-order `Vec` with an
+//! FxHash index for O(1) `get`/update, and a sorted run of slot indexes
+//! is (re)built lazily only when a scan or freeze actually needs key
+//! order. Updates overwrite their slot in place, so a workload of updates
+//! to existing keys never invalidates the sorted run.
 
 use super::row::Row;
+use crate::fasthash::FastHashMap;
 use rafiki_workload::Key;
-use std::collections::BTreeMap;
 
-/// An in-memory, sorted, mutable table of the freshest row versions.
+/// An in-memory, mutable table of the freshest row versions.
 #[derive(Debug, Clone, Default)]
 pub struct Memtable {
-    rows: BTreeMap<Key, Row>,
+    /// Row storage in first-insert order; updates replace in place.
+    rows: Vec<Row>,
+    /// key -> slot in `rows`.
+    index: FastHashMap<Key, u32>,
+    /// Slots of `rows` ordered by key; only meaningful when
+    /// `sorted_valid`. New-key inserts invalidate it, updates don't.
+    sorted: Vec<u32>,
+    sorted_valid: bool,
     logical_bytes: u64,
 }
 
@@ -31,25 +45,32 @@ impl Memtable {
     pub fn insert(&mut self, row: Row) -> bool {
         let bytes = row.logical_bytes();
         let key = row.key;
-        match self.rows.insert(key, row) {
-            Some(old) => {
+        match self.index.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                let slot = *e.get() as usize;
+                let old = &self.rows[slot];
                 assert!(
-                    old.version <= self.rows[&key].version,
+                    old.version <= row.version,
                     "memtable version regression on {key}"
                 );
                 self.logical_bytes = self.logical_bytes - old.logical_bytes() + bytes;
+                self.rows[slot] = row;
                 true
             }
-            None => {
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(self.rows.len() as u32);
+                self.rows.push(row);
+                self.sorted_valid = false;
                 self.logical_bytes += bytes;
                 false
             }
         }
     }
 
-    /// Looks up the freshest in-memory version of `key`.
+    /// Looks up the freshest in-memory version of `key`. One hash probe,
+    /// no tree descent.
     pub fn get(&self, key: Key) -> Option<&Row> {
-        self.rows.get(&key)
+        self.index.get(&key).map(|&slot| &self.rows[slot as usize])
     }
 
     /// Number of distinct keys held.
@@ -68,9 +89,34 @@ impl Memtable {
         self.logical_bytes
     }
 
+    /// Rebuilds the sorted run if new keys arrived since the last ordered
+    /// traversal.
+    fn ensure_sorted(&mut self) {
+        if self.sorted_valid {
+            return;
+        }
+        self.sorted.clear();
+        self.sorted.extend(0..self.rows.len() as u32);
+        let rows = &self.rows;
+        self.sorted
+            .sort_unstable_by_key(|&slot| rows[slot as usize].key);
+        self.sorted_valid = true;
+    }
+
     /// Iterates the in-memory rows with keys in `[lo, hi]`, in key order.
-    pub fn scan(&self, lo: Key, hi: Key) -> impl Iterator<Item = &Row> {
-        self.rows.range(lo..=hi).map(|(_, r)| r)
+    /// Takes `&mut self` because the lazy sorted run may need rebuilding.
+    pub fn scan(&mut self, lo: Key, hi: Key) -> impl Iterator<Item = &Row> {
+        self.ensure_sorted();
+        let rows = &self.rows;
+        let start = self
+            .sorted
+            .partition_point(|&slot| rows[slot as usize].key < lo);
+        let end = self
+            .sorted
+            .partition_point(|&slot| rows[slot as usize].key <= hi);
+        self.sorted[start..end]
+            .iter()
+            .map(move |&slot| &rows[slot as usize])
     }
 
     /// Freezes the memtable, returning its rows in key order and leaving it
@@ -78,7 +124,12 @@ impl Memtable {
     /// rows to a flush job).
     pub fn freeze(&mut self) -> Vec<Row> {
         self.logical_bytes = 0;
-        std::mem::take(&mut self.rows).into_values().collect()
+        self.index.clear();
+        self.sorted.clear();
+        self.sorted_valid = false;
+        let mut rows = std::mem::take(&mut self.rows);
+        rows.sort_unstable_by_key(|r| r.key);
+        rows
     }
 }
 
@@ -124,6 +175,29 @@ mod tests {
         assert_eq!(keys, vec![1, 3, 5, 9]);
         assert!(m.is_empty());
         assert_eq!(m.logical_bytes(), 0);
+        // The memtable is reusable after a freeze.
+        m.insert(row(7, 10, 100));
+        assert_eq!(m.get(Key(7)).unwrap().version, 100);
+        assert!(m.get(Key(5)).is_none());
+    }
+
+    #[test]
+    fn scan_is_key_ordered_across_interleaved_inserts() {
+        let mut m = Memtable::new();
+        for k in [8u64, 2, 6, 4] {
+            m.insert(row(k, 10, k));
+        }
+        // First scan builds the sorted run.
+        let got: Vec<u64> = m.scan(Key(2), Key(6)).map(|r| r.key.0).collect();
+        assert_eq!(got, vec![2, 4, 6]);
+        // An update in place must not disturb the order...
+        m.insert(row(4, 10, 100));
+        let got: Vec<u64> = m.scan(Key(0), Key(99)).map(|r| r.key.0).collect();
+        assert_eq!(got, vec![2, 4, 6, 8]);
+        // ...and a new key must be picked up by the rebuild.
+        m.insert(row(5, 10, 101));
+        let got: Vec<u64> = m.scan(Key(3), Key(7)).map(|r| r.key.0).collect();
+        assert_eq!(got, vec![4, 5, 6]);
     }
 
     #[test]

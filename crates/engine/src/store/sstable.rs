@@ -4,23 +4,75 @@
 //! (or several non-overlapping ones, for leveled compaction). Data for one
 //! key may be spread over multiple SSTables, which is exactly what makes
 //! reads expensive under size-tiered compaction.
+//!
+//! The table body lives in an immutable, reference-counted `TableCore`:
+//! cloning an `SsTable` (and by extension a whole `TableSet`, as snapshot
+//! hydration does) bumps a refcount instead of copying rows. Point probes
+//! run against a dense `Vec<Key>` mirror of the row keys — a binary search
+//! over 8-byte keys touches far fewer cache lines than one over full
+//! `Row` structs — and a fence-pointer index (every `FENCE_STRIDE`-th
+//! key) first narrows the search to one stride-sized window.
 
 use super::bloom::BloomFilter;
 use super::row::Row;
 use rafiki_workload::Key;
+use std::sync::Arc;
 
 /// Identifier of an SSTable within one engine instance.
 pub type TableId = u64;
 
-/// An immutable sorted run of rows.
+/// Rows per fence: probes binary-search the fences, then scan one
+/// 64-key window (512 bytes of key data — a few cache lines).
+const FENCE_STRIDE: usize = 64;
+
+/// The immutable body of an SSTable, shared between clones.
+#[derive(Debug)]
+struct TableCore {
+    rows: Vec<Row>,
+    /// Dense mirror of `rows[i].key` for cache-friendly binary search.
+    keys: Vec<Key>,
+    /// `keys[i * FENCE_STRIDE]` for each stride: the fence-pointer index.
+    fences: Vec<Key>,
+    bloom: BloomFilter,
+    logical_bytes: u64,
+    rows_per_block: usize,
+}
+
+impl TableCore {
+    /// Index of the first row with `rows[i].key >= key`, fence-narrowed.
+    #[inline]
+    fn lower_bound(&self, key: Key) -> usize {
+        // Fences hold keys at positions 0, S, 2S, ...; the first fence is
+        // min_key. `j` counts fences <= key, so the answer lies in the
+        // window starting at fence j-1 (or at 0 when key < min_key).
+        let j = self.fences.partition_point(|&f| f <= key);
+        if j == 0 {
+            return 0;
+        }
+        let start = (j - 1) * FENCE_STRIDE;
+        let end = (j * FENCE_STRIDE).min(self.keys.len());
+        start + self.keys[start..end].partition_point(|&k| k < key)
+    }
+
+    /// Index one past the last row with `rows[i].key <= key`.
+    #[inline]
+    fn upper_bound(&self, key: Key) -> usize {
+        let j = self.fences.partition_point(|&f| f <= key);
+        if j == 0 {
+            return 0;
+        }
+        let start = (j - 1) * FENCE_STRIDE;
+        let end = (j * FENCE_STRIDE).min(self.keys.len());
+        start + self.keys[start..end].partition_point(|&k| k <= key)
+    }
+}
+
+/// An immutable sorted run of rows. Cheap to clone: the body is shared.
 #[derive(Debug, Clone)]
 pub struct SsTable {
     id: TableId,
     level: u8,
-    rows: Vec<Row>,
-    bloom: BloomFilter,
-    logical_bytes: u64,
-    rows_per_block: usize,
+    core: Arc<TableCore>,
 }
 
 impl SsTable {
@@ -49,13 +101,19 @@ impl SsTable {
         }
         let avg_row = (logical_bytes / rows.len() as u64).max(1);
         let rows_per_block = ((block_bytes / avg_row).max(1)) as usize;
+        let keys: Vec<Key> = rows.iter().map(|r| r.key).collect();
+        let fences: Vec<Key> = keys.iter().step_by(FENCE_STRIDE).copied().collect();
         SsTable {
             id,
             level,
-            rows,
-            bloom,
-            logical_bytes,
-            rows_per_block,
+            core: Arc::new(TableCore {
+                rows,
+                keys,
+                fences,
+                bloom,
+                logical_bytes,
+                rows_per_block,
+            }),
         }
     }
 
@@ -71,27 +129,27 @@ impl SsTable {
 
     /// Number of rows.
     pub fn len(&self) -> usize {
-        self.rows.len()
+        self.core.rows.len()
     }
 
     /// SSTables are never empty; this exists for API completeness.
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.core.rows.is_empty()
     }
 
     /// Total logical bytes.
     pub fn logical_bytes(&self) -> u64 {
-        self.logical_bytes
+        self.core.logical_bytes
     }
 
     /// Smallest key.
     pub fn min_key(&self) -> Key {
-        self.rows.first().expect("non-empty").key
+        *self.core.keys.first().expect("non-empty")
     }
 
     /// Largest key.
     pub fn max_key(&self) -> Key {
-        self.rows.last().expect("non-empty").key
+        *self.core.keys.last().expect("non-empty")
     }
 
     /// Whether `key` falls inside this table's key range.
@@ -101,7 +159,7 @@ impl SsTable {
 
     /// Bloom-filter check (the cheap pre-read test Cassandra performs).
     pub fn may_contain(&self, key: Key) -> bool {
-        self.range_contains(key) && self.bloom.may_contain(key)
+        self.range_contains(key) && self.core.bloom.may_contain(key)
     }
 
     /// Whether this table's range overlaps `[lo, hi]`.
@@ -112,52 +170,56 @@ impl SsTable {
     /// Point lookup. Returns the row and the block number it lives in (the
     /// unit the block caches operate on).
     pub fn get(&self, key: Key) -> Option<(&Row, u32)> {
-        let idx = self.rows.binary_search_by_key(&key, |r| r.key).ok()?;
-        Some((&self.rows[idx], (idx / self.rows_per_block) as u32))
+        let idx = self.core.lower_bound(key);
+        if idx >= self.core.keys.len() || self.core.keys[idx] != key {
+            return None;
+        }
+        Some((
+            &self.core.rows[idx],
+            (idx / self.core.rows_per_block) as u32,
+        ))
     }
 
     /// Block number a key would occupy if present (for negative-lookup
     /// cache accounting after a bloom false positive).
     pub fn block_of_position(&self, key: Key) -> u32 {
-        let idx = match self.rows.binary_search_by_key(&key, |r| r.key) {
-            Ok(i) | Err(i) => i.min(self.rows.len() - 1),
-        };
-        (idx / self.rows_per_block) as u32
+        let idx = self.core.lower_bound(key).min(self.core.rows.len() - 1);
+        (idx / self.core.rows_per_block) as u32
     }
 
     /// Number of blocks in this table.
     pub fn block_count(&self) -> u32 {
-        self.rows.len().div_ceil(self.rows_per_block) as u32
+        self.core.rows.len().div_ceil(self.core.rows_per_block) as u32
     }
 
     /// The rows with keys in `[lo, hi]`, plus the block range they span
     /// (inclusive). Returns an empty slice with block range `(0, 0)` when
     /// nothing falls in range.
     pub fn range_slice(&self, lo: Key, hi: Key) -> (&[Row], u32, u32) {
-        let start = self.rows.partition_point(|r| r.key < lo);
-        let end = self.rows.partition_point(|r| r.key <= hi);
+        let start = self.core.lower_bound(lo);
+        let end = self.core.upper_bound(hi);
         if start >= end {
             return (&[], 0, 0);
         }
-        let first_block = (start / self.rows_per_block) as u32;
-        let last_block = ((end - 1) / self.rows_per_block) as u32;
-        (&self.rows[start..end], first_block, last_block)
+        let first_block = (start / self.core.rows_per_block) as u32;
+        let last_block = ((end - 1) / self.core.rows_per_block) as u32;
+        (&self.core.rows[start..end], first_block, last_block)
     }
 
     /// Iterates rows in key order.
     pub fn iter(&self) -> std::slice::Iter<'_, Row> {
-        self.rows.iter()
+        self.core.rows.iter()
     }
 
     /// Bloom filter memory footprint in bytes.
     pub fn bloom_bytes(&self) -> usize {
-        self.bloom.byte_len()
+        self.core.bloom.byte_len()
     }
 
     /// The largest write stamp in this table (its "age" for time-window
     /// compaction: tables are bucketed by when their data was written).
     pub fn max_version(&self) -> u64 {
-        self.rows.iter().map(|r| r.version).max().unwrap_or(0)
+        self.core.rows.iter().map(|r| r.version).max().unwrap_or(0)
     }
 }
 
@@ -264,6 +326,28 @@ mod tests {
     }
 
     #[test]
+    fn fence_narrowed_lookup_matches_full_binary_search() {
+        // Spans several fence windows (FENCE_STRIDE = 64): every present
+        // key must be found, every absent key rejected, and the
+        // would-be position must match the plain binary-search answer.
+        let keys: Vec<u64> = (0..1_000).map(|i| i * 2 + 1).collect();
+        let t = table(7, &keys, 1);
+        let per_block = t.rows_per_block_for_test();
+        for probe in 0..2_200u64 {
+            let expect = keys.binary_search(&probe).ok();
+            match (t.get(Key(probe)), expect) {
+                (Some((row, _)), Some(_)) => assert_eq!(row.key, Key(probe)),
+                (None, None) => {}
+                (got, want) => panic!("probe {probe}: got {got:?}, want hit={want:?}"),
+            }
+            let idx = match keys.binary_search(&probe) {
+                Ok(i) | Err(i) => i.min(keys.len() - 1),
+            };
+            assert_eq!(t.block_of_position(Key(probe)), (idx / per_block) as u32);
+        }
+    }
+
+    #[test]
     fn blocks_partition_rows() {
         // 100-byte payloads + 32 overhead = 132B rows; 1 KiB blocks -> 7 rows/block.
         let keys: Vec<u64> = (0..70).collect();
@@ -273,6 +357,22 @@ mod tests {
         let (_, last_block) = t.get(Key(69)).unwrap();
         assert_eq!(first_block, 0);
         assert_eq!(last_block, t.block_count() - 1);
+    }
+
+    #[test]
+    fn range_slice_matches_partition_points() {
+        let keys: Vec<u64> = (0..300).map(|i| i * 3).collect();
+        let t = table(3, &keys, 1);
+        for (lo, hi) in [(0u64, 897u64), (5, 10), (100, 250), (898, 999), (0, 0)] {
+            let (slice, _, _) = t.range_slice(Key(lo), Key(hi));
+            let want: Vec<u64> = keys
+                .iter()
+                .copied()
+                .filter(|&k| lo <= k && k <= hi)
+                .collect();
+            let got: Vec<u64> = slice.iter().map(|r| r.key.0).collect();
+            assert_eq!(got, want, "range [{lo}, {hi}]");
+        }
     }
 
     #[test]
@@ -329,5 +429,19 @@ mod tests {
         assert!(t.range_overlaps(Key(25), Key(40)));
         assert!(t.range_overlaps(Key(0), Key(10)));
         assert!(!t.range_overlaps(Key(31), Key(99)));
+    }
+
+    #[test]
+    fn clones_share_the_core() {
+        let t = table(1, &(0..200).collect::<Vec<_>>(), 1);
+        let c = t.clone();
+        assert!(Arc::ptr_eq(&t.core, &c.core));
+        assert_eq!(c.get(Key(150)).unwrap().0.key, Key(150));
+    }
+
+    impl SsTable {
+        fn rows_per_block_for_test(&self) -> usize {
+            self.core.rows_per_block
+        }
     }
 }
