@@ -1,0 +1,10 @@
+//! Regenerates `BENCH_bakeoff.json` via
+//! [`rafiki_bench::experiments::bake_off`]: all four search strategies
+//! (GA, BestConfig, latent, random) on identical seeds and budgets over
+//! the widened 14-knob space. Pass `--quick` for a reduced run.
+
+fn main() {
+    let quick = rafiki_bench::experiments::quick_flag();
+    let findings = rafiki_bench::experiments::bake_off::run(quick);
+    println!("\n{}", rafiki_bench::experiments::findings_table(&findings));
+}

@@ -18,7 +18,12 @@ use std::path::{Path, PathBuf};
 /// The committed benchmark records this repository promises to keep
 /// measured. Adding a `BENCH_*.json` to the repo root means adding it
 /// here, or the gate will not protect it.
-const COMMITTED: &[&str] = &["BENCH_grid.json", "BENCH_search.json", "BENCH_serve.json"];
+const COMMITTED: &[&str] = &[
+    "BENCH_grid.json",
+    "BENCH_search.json",
+    "BENCH_serve.json",
+    "BENCH_bakeoff.json",
+];
 
 fn repo_root() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -50,6 +55,9 @@ fn check(path: &Path) -> Result<(), String> {
             }
             if name == "grid_speedup" {
                 check_grid_record(&json)?;
+            }
+            if name == "bake_off" {
+                check_bakeoff_record(&json)?;
             }
             Ok(())
         }
@@ -100,6 +108,63 @@ fn check_grid_record(json: &Json) -> Result<(), String> {
             return Err(format!(
                 "run \"{label}\" is flagged degenerate despite multiple workers"
             ));
+        }
+    }
+    Ok(())
+}
+
+/// The bake-off record's schema: all four strategies must be present,
+/// each with a positive `surrogate_calls` count (a strategy that never
+/// consulted the surrogate didn't actually search) and at least one
+/// per-workload cell carrying a positive measured throughput. The
+/// record must also say how wide the space was and what the shared
+/// evaluation budget was — without those two numbers the comparison is
+/// meaningless.
+fn check_bakeoff_record(json: &Json) -> Result<(), String> {
+    match json.get("space_dims").and_then(Json::as_u64) {
+        Some(d) if d >= 12 => {}
+        Some(d) => return Err(format!("space_dims is {d}, bake-off requires >= 12")),
+        None => return Err("has no \"space_dims\"".to_string()),
+    }
+    match json.get("budget").and_then(Json::as_u64) {
+        Some(b) if b > 0 => {}
+        _ => return Err("has no positive \"budget\"".to_string()),
+    }
+    let strategies = json
+        .get("strategies")
+        .and_then(Json::as_arr)
+        .ok_or("has no \"strategies\" array (regenerate with the bake_off binary)")?;
+    for expected in ["ga", "bestconfig", "latent", "random"] {
+        let entry = strategies
+            .iter()
+            .find(|s| matches!(s.get("strategy"), Some(Json::Str(n)) if n == expected))
+            .ok_or(format!("strategies has no entry for \"{expected}\""))?;
+        match entry.get("surrogate_calls").and_then(Json::as_u64) {
+            Some(calls) if calls > 0 => {}
+            _ => {
+                return Err(format!(
+                    "strategy \"{expected}\" has no positive \"surrogate_calls\""
+                ))
+            }
+        }
+        let cells = entry
+            .get("cells")
+            .and_then(Json::as_arr)
+            .ok_or(format!("strategy \"{expected}\" has no \"cells\" array"))?;
+        if cells.is_empty() {
+            return Err(format!(
+                "strategy \"{expected}\" has an empty \"cells\" array"
+            ));
+        }
+        for cell in cells {
+            match cell.get("ops_per_sec").and_then(Json::as_f64) {
+                Some(tput) if tput > 0.0 => {}
+                _ => {
+                    return Err(format!(
+                        "strategy \"{expected}\" has a cell without positive ops_per_sec"
+                    ))
+                }
+            }
         }
     }
     Ok(())

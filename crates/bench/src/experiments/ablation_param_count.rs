@@ -1,5 +1,5 @@
 //! Ablation (DESIGN.md §5): does the ANOVA prune to 5 key parameters
-//! actually pay off versus feeding all 25 parameters to the surrogate?
+//! actually pay off versus feeding all 30 parameters to the surrogate?
 //! The paper argues pruning cuts data-collection and training cost without
 //! losing accuracy; this experiment quantifies both sides.
 
@@ -29,7 +29,7 @@ fn fit_and_score(
     (model.evaluate(&test).mape, train_secs)
 }
 
-/// Runs the 5-vs-25-parameter ablation.
+/// Runs the 5-vs-30-parameter ablation.
 pub fn run(quick: bool) -> Vec<Finding> {
     let ctx = if quick {
         crate::quick_context()
@@ -38,15 +38,15 @@ pub fn run(quick: bool) -> Vec<Finding> {
     };
     let (mape5, secs5) = fit_and_score("cassandra", &ctx, &key_param_space(), quick);
     println!("[ablation] 5 key params: MAPE {mape5:.1}%, training {secs5:.1}s");
-    let (mape25, secs25) = fit_and_score("cassandra_full", &ctx, &full_param_space(), quick);
-    println!("[ablation] all 25 params: MAPE {mape25:.1}%, training {secs25:.1}s");
+    let (mape30, secs30) = fit_and_score("cassandra_full", &ctx, &full_param_space(), quick);
+    println!("[ablation] all 30 params: MAPE {mape30:.1}%, training {secs30:.1}s");
 
     vec![Finding::new(
         "ablation",
-        "ANOVA-pruned 5 params vs all 25 params",
+        "ANOVA-pruned 5 params vs all 30 params",
         "pruning reduces complexity and collection overhead without hurting accuracy (§1)",
         format!(
-            "unseen-config MAPE {mape5:.1}% (5 params, {secs5:.1}s training) vs {mape25:.1}% (25 params, {secs25:.1}s)"
+            "unseen-config MAPE {mape5:.1}% (5 params, {secs5:.1}s training) vs {mape30:.1}% (30 params, {secs30:.1}s)"
         ),
     )]
 }

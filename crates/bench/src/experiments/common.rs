@@ -23,9 +23,38 @@ pub fn key_param_space() -> ConfigSearchSpace {
     ConfigSearchSpace::new(params, EngineConfig::default())
 }
 
-/// The search space over all 25 catalogued parameters (ablation).
+/// The search space over all 30 catalogued parameters (ablation).
 pub fn full_param_space() -> ConfigSearchSpace {
     ConfigSearchSpace::new(param_catalog(), EngineConfig::default())
+}
+
+/// The widened tuning space for the strategy bake-off: every
+/// performance-bearing knob the engine exposes, 14 parameters deep —
+/// the high-dimensional regime where the choice of search strategy
+/// actually matters (5-knob spaces are easy for everything).
+pub fn wide_param_space() -> ConfigSearchSpace {
+    let want = [
+        ParamId::CompactionMethod,
+        ParamId::ConcurrentWrites,
+        ParamId::ConcurrentReads,
+        ParamId::FileCacheSizeMb,
+        ParamId::FileCacheEviction,
+        ParamId::MemtableCleanupThreshold,
+        ParamId::MemtableHeapSpaceMb,
+        ParamId::ConcurrentCompactors,
+        ParamId::CommitlogSyncPeriodMs,
+        ParamId::BloomFilterFpChance,
+        ParamId::SstableBlockSizeKb,
+        ParamId::StcsMinThreshold,
+        ParamId::StcsMaxThreshold,
+        ParamId::LeveledFanout,
+    ];
+    let params: Vec<_> = param_catalog()
+        .into_iter()
+        .filter(|p| want.contains(&p.id))
+        .collect();
+    assert_eq!(params.len(), want.len(), "catalog is missing a wide knob");
+    ConfigSearchSpace::new(params, EngineConfig::default())
 }
 
 /// The data-collection plan of §4.2: 20 configurations x 11 read ratios.
@@ -247,6 +276,19 @@ mod tests {
     #[test]
     fn spaces_have_expected_dims() {
         assert_eq!(key_param_space().dims(), 5);
-        assert_eq!(full_param_space().dims(), 25);
+        assert_eq!(wide_param_space().dims(), 14);
+        assert_eq!(full_param_space().dims(), 30);
+    }
+
+    #[test]
+    fn wide_space_quantizes_to_valid_configs() {
+        use rand::SeedableRng;
+        let space = wide_param_space();
+        let ga = space.to_ga_space();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        for _ in 0..50 {
+            let genome = ga.sample(&mut rng);
+            space.config_from_genome(&genome).validate();
+        }
     }
 }

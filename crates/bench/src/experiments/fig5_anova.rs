@@ -22,7 +22,7 @@ pub fn run(quick: bool) -> Vec<Finding> {
     };
     let t0 = std::time::Instant::now();
     let report = identify_key_parameters(&ctx, &cfg);
-    println!("Fig 5: screen of 25 parameters in {:.1?}", t0.elapsed());
+    println!("Fig 5: screen of 30 parameters in {:.1?}", t0.elapsed());
 
     let mut csv = String::from("rank,parameter,std_dev,variance\n");
     for (i, s) in report.screens.iter().enumerate() {

@@ -27,9 +27,11 @@ rafiki-tune — parameter tuning for the simulated NoSQL datastore
 
 USAGE:
   rafiki-tune screen  [--rr 0.8] [--levels 4] [--quick]
-      ANOVA-screen all 25 parameters; print the ranking and key set.
+      ANOVA-screen all 30 parameters; print the ranking and key set.
   rafiki-tune tune    [--rr 0.9] [--configs 8] [--quick]
-      Collect data, train the surrogate, GA-search a config for --rr.
+                      [--strategy ga|bestconfig|latent|random]
+      Collect data, train the surrogate, search a config for --rr with
+      the chosen strategy (default ga — the paper's loop).
   rafiki-tune bench   [--rr 0.5] [--cm size-tiered|leveled] [--cw 32]
                       [--fcz 256] [--mt 0.3] [--cc 2] [--seconds 4]
       One benchmark of an explicit configuration.
@@ -117,7 +119,7 @@ fn cmd_screen(args: &Args) -> Result<(), ArgError> {
         ..ScreeningConfig::default()
     };
     let ctx = context(args.has("quick"));
-    eprintln!("screening 25 parameters at RR={:.2}…", cfg.read_ratio);
+    eprintln!("screening 30 parameters at RR={:.2}…", cfg.read_ratio);
     let report = identify_key_parameters(&ctx, &cfg);
     println!("{:<4} {:<44} {:>12}", "rank", "parameter", "sd(ops/s)");
     for (i, s) in report.screens.iter().enumerate() {
@@ -162,9 +164,22 @@ fn cmd_tune(args: &Args) -> Result<(), ArgError> {
         report.samples_collected,
         report.key_parameters.join(", ")
     );
-    let best = tuner
-        .optimize(rr)
-        .map_err(|e| ArgError(format!("search failed: {e}")))?;
+    let strategy_name = args.get_or("strategy", "ga").to_string();
+    let best = match strategy_name.as_str() {
+        // The built-in loop and the GA strategy are bit-identical; going
+        // through `optimize` keeps the default path byte-for-byte what it
+        // was before strategies existed.
+        "ga" => tuner
+            .optimize(rr)
+            .map_err(|e| ArgError(format!("search failed: {e}")))?,
+        other => {
+            let mut strategy = build_strategy(&tuner, other)?;
+            tuner
+                .optimize_with_strategy(rr, strategy.as_mut())
+                .map_err(|e| ArgError(format!("search failed: {e}")))?
+        }
+    };
+    eprintln!("search strategy     : {strategy_name}");
     let default_tput = tuner.context().measure(rr, &EngineConfig::default());
     let tuned_tput = tuner.context().measure(rr, &best.config);
     println!("workload read ratio : {rr:.2}");
@@ -195,6 +210,59 @@ fn cmd_tune(args: &Args) -> Result<(), ArgError> {
         best.config.concurrent_compactors
     );
     Ok(())
+}
+
+/// Builds a non-GA search strategy over the fitted tuner's space with a
+/// budget matching the built-in GA (`population * (generations + 1) + 1`
+/// evaluations), so `--strategy` swaps the algorithm, not the effort.
+fn build_strategy(
+    tuner: &RafikiTuner,
+    name: &str,
+) -> Result<Box<dyn rafiki_search::SearchStrategy>, ArgError> {
+    let space = tuner
+        .space()
+        .ok_or_else(|| ArgError("tuner not fitted".to_string()))?
+        .to_ga_space();
+    let ga = TunerConfig::fast().ga;
+    let budget = ga.population * (ga.generations + 1) + 1;
+    Ok(match name {
+        "bestconfig" => Box::new(rafiki_search::BestConfigSearch::new(
+            space,
+            rafiki_search::BestConfigConfig {
+                samples_per_round: ga.population,
+                rounds: budget / ga.population,
+                seed: ga.seed,
+                ..rafiki_search::BestConfigConfig::default()
+            },
+        )),
+        "latent" => {
+            let design = 32;
+            Box::new(rafiki_search::LatentSearch::new(
+                space,
+                rafiki_search::LatentConfig {
+                    design_samples: design,
+                    latent_dim: 4,
+                    ga: rafiki_ga::GaConfig {
+                        generations: ((budget - design - 1) / ga.population).saturating_sub(1),
+                        ..ga
+                    },
+                    seed: ga.seed,
+                    ..rafiki_search::LatentConfig::default()
+                },
+            ))
+        }
+        "random" => Box::new(rafiki_search::RandomSearch::new(
+            space,
+            budget,
+            ga.population,
+            ga.seed,
+        )),
+        other => {
+            return Err(ArgError(format!(
+                "--strategy {other}: use ga|bestconfig|latent|random"
+            )))
+        }
+    })
 }
 
 fn cmd_bench(args: &Args) -> Result<(), ArgError> {

@@ -100,7 +100,7 @@ mod tests {
             candidate_params: None,
             ..spec
         };
-        assert_eq!(all.resolve_params().len(), 25);
+        assert_eq!(all.resolve_params().len(), 30);
     }
 
     #[test]

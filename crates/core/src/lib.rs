@@ -7,7 +7,7 @@
 //! 1. **Workload characterization** — [`rafiki_workload::characterize`]
 //!    extracts the read ratio and key-reuse distance.
 //! 2. **Important parameter identification** — [`screening`] varies each of
-//!    the 25 catalogued parameters individually and ranks them with ANOVA.
+//!    the 30 catalogued parameters individually and ranks them with ANOVA.
 //! 3. **Data collection** — [`dataset`] benchmarks sampled configurations
 //!    across workloads.
 //! 4. **Surrogate modelling** — [`tuner`] trains an ensemble DNN

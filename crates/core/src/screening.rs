@@ -234,7 +234,7 @@ mod tests {
             ..ScreeningConfig::default()
         };
         let report = identify_key_parameters(&ctx, &cfg);
-        assert_eq!(report.screens.len(), 25);
+        assert_eq!(report.screens.len(), 30);
         assert!(report.default_throughput > 0.0);
         assert!(
             (cfg.min_keep..=cfg.max_keep).contains(&report.key_parameters.len()),

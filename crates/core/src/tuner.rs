@@ -298,6 +298,51 @@ impl RafikiTuner {
         })
     }
 
+    /// Phase 5 (online) with a pluggable search strategy: drives any
+    /// [`rafiki_search::SearchStrategy`] over the surrogate instead of
+    /// the built-in GA. The strategy must have been constructed over
+    /// this tuner's [`ConfigSearchSpace::to_ga_space`] (genome
+    /// dimensions must match the key parameters).
+    ///
+    /// Driving a [`rafiki_search::GaSearch`] through this path yields
+    /// the exact result of [`RafikiTuner::optimize_seeded`] — the GA
+    /// strategy is bit-identical to the built-in loop.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TunerError::NotFitted`] before [`RafikiTuner::fit`].
+    pub fn optimize_with_strategy(
+        &self,
+        read_ratio: f64,
+        strategy: &mut dyn rafiki_search::SearchStrategy,
+    ) -> Result<OptimizedConfig, TunerError> {
+        let (space, surrogate) = match (&self.space, &self.surrogate) {
+            (Some(s), Some(m)) => (s, m),
+            _ => return Err(TunerError::NotFitted),
+        };
+        let search_span = obs::span("tuner", "optimize_strategy", obs::Level::Debug);
+        let surrogate: &dyn Surrogate = surrogate;
+        let outcome = rafiki_search::run_strategy(strategy, |population| {
+            let rows: Vec<Vec<f64>> = population
+                .iter()
+                .map(|g| space.feature_row(read_ratio, g))
+                .collect();
+            surrogate.predict_batch(&Matrix::from_rows(&rows))
+        });
+        search_span.close(vec![
+            ("read_ratio", obs::Value::F64(read_ratio)),
+            ("strategy", obs::Value::Str(outcome.strategy.to_string())),
+            ("evaluations", obs::Value::U64(outcome.evaluations as u64)),
+            ("best_fitness", obs::Value::F64(outcome.best_fitness)),
+        ]);
+        Ok(OptimizedConfig {
+            config: space.config_from_genome(&outcome.best_genome),
+            genome: outcome.best_genome,
+            predicted_throughput: outcome.best_fitness,
+            surrogate_evaluations: outcome.evaluations,
+        })
+    }
+
     /// Predicts throughput for a (read ratio, genome) pair with the
     /// trained surrogate.
     ///
@@ -425,5 +470,88 @@ mod tests {
         let a = tuner.optimize_seeded(0.5, 3).unwrap();
         let b = tuner.optimize_seeded(0.5, 3).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ga_strategy_is_bit_identical_to_builtin_optimize() {
+        let ctx = EvalContext::small();
+        let mut tuner = RafikiTuner::new(ctx, TunerConfig::fast());
+        tuner.fit().expect("fit succeeds");
+        for seed in [0u64, 7, 42] {
+            let builtin = tuner.optimize_seeded(0.6, seed).unwrap();
+            let ga_cfg = GaConfig {
+                seed,
+                ..TunerConfig::fast().ga
+            };
+            let mut strategy =
+                rafiki_search::GaSearch::new(tuner.space().unwrap().to_ga_space(), ga_cfg);
+            let via_strategy = tuner.optimize_with_strategy(0.6, &mut strategy).unwrap();
+            assert_eq!(via_strategy, builtin, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn every_strategy_yields_a_valid_engine_config() {
+        // All four strategies, searched over the full widened catalog:
+        // whatever genome wins must quantize into an EngineConfig that
+        // passes validation (the latent decoder in particular must not
+        // smuggle out-of-range values past repair).
+        let ctx = EvalContext::small();
+        let mut tuner = RafikiTuner::new(ctx, TunerConfig::fast());
+        tuner.fit().expect("fit succeeds");
+        let wide = crate::search_space::ConfigSearchSpace::new(
+            rafiki_engine::param_catalog(),
+            EngineConfig::default(),
+        );
+        let installed = tuner.space().unwrap().clone();
+        // The surrogate was trained on the fast 5-param space; for this
+        // validity test we only need *some* deterministic objective, so
+        // score wide genomes by their distance to the default genome.
+        let default_genome = wide.default_genome();
+        let score = |g: &[f64]| -> f64 {
+            -g.iter()
+                .zip(&default_genome)
+                .map(|(a, b)| ((a - b) / (1.0 + b.abs())).powi(2))
+                .sum::<f64>()
+        };
+        drop(installed);
+        let ga_space = wide.to_ga_space();
+        let ga_cfg = GaConfig {
+            population: 12,
+            generations: 4,
+            seed: 5,
+            ..GaConfig::default()
+        };
+        let mut strategies: Vec<Box<dyn rafiki_search::SearchStrategy>> = vec![
+            Box::new(rafiki_search::GaSearch::new(ga_space.clone(), ga_cfg)),
+            Box::new(rafiki_search::BestConfigSearch::new(
+                ga_space.clone(),
+                rafiki_search::BestConfigConfig {
+                    samples_per_round: 12,
+                    rounds: 5,
+                    seed: 5,
+                    ..rafiki_search::BestConfigConfig::default()
+                },
+            )),
+            Box::new(rafiki_search::LatentSearch::new(
+                ga_space.clone(),
+                rafiki_search::LatentConfig {
+                    design_samples: 16,
+                    latent_dim: 4,
+                    autoencoder_epochs: 30,
+                    ga: ga_cfg,
+                    seed: 5,
+                },
+            )),
+            Box::new(rafiki_search::RandomSearch::new(ga_space, 60, 12, 5)),
+        ];
+        for strategy in &mut strategies {
+            let out = rafiki_search::run_strategy(strategy.as_mut(), |pop| {
+                pop.iter().map(|g| score(g)).collect()
+            });
+            let cfg = wide.config_from_genome(&out.best_genome);
+            cfg.validate(); // panics on any out-of-range knob
+            assert_eq!(wide.genome_of(&cfg), out.best_genome, "{}", out.strategy);
+        }
     }
 }

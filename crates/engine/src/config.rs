@@ -22,6 +22,21 @@ pub enum CompactionMethod {
     Leveled,
 }
 
+/// Block-cache eviction policy (`file_cache_eviction`). Cassandra's file
+/// cache is fixed-policy, but eviction is a classic knob in the wider
+/// NoSQL space (RocksDB exposes exactly this), and it stresses a tuner
+/// with a categorical that interacts with cache *size*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EvictionPolicy {
+    /// Least-recently-used: hits promote; evict the coldest entry.
+    Lru,
+    /// First-in-first-out: hits do not promote; evict the oldest entry.
+    Fifo,
+    /// Clock (second-chance): hits set a referenced bit; eviction sweeps
+    /// past referenced entries once before reclaiming them.
+    Clock,
+}
+
 /// The full engine configuration. Field names follow `cassandra.yaml`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EngineConfig {
@@ -77,6 +92,22 @@ pub struct EngineConfig {
     /// Streaming throughput cap in MB/s (single-node benchmarks never
     /// stream; inert).
     pub stream_throughput_outbound_mb_per_sec: u32,
+    /// Eviction policy of the SSTable block (file) cache.
+    pub file_cache_eviction: EvictionPolicy,
+    /// SSTable block size in KB — the cache-hierarchy granularity.
+    /// Bigger blocks mean fewer index probes but fewer cacheable blocks
+    /// per MB of file cache.
+    pub sstable_block_size_kb: u32,
+    /// STCS: minimum number of similarly-sized runs that triggers a
+    /// size-tiered merge (`min_threshold` in Cassandra).
+    pub stcs_min_threshold: u32,
+    /// STCS: maximum number of runs merged in one size-tiered compaction
+    /// (`max_threshold`). Values below `stcs_min_threshold` are treated
+    /// as equal to it.
+    pub stcs_max_threshold: u32,
+    /// LCS: level size fanout — each level holds `fanout`x the bytes of
+    /// the previous one.
+    pub leveled_fanout: u32,
 }
 
 impl Default for EngineConfig {
@@ -109,6 +140,11 @@ impl Default for EngineConfig {
             batch_size_warn_threshold_kb: 64,
             tombstone_gc_grace_seconds: 864_000,
             stream_throughput_outbound_mb_per_sec: 200,
+            file_cache_eviction: EvictionPolicy::Lru,
+            sstable_block_size_kb: 64,
+            stcs_min_threshold: 4,
+            stcs_max_threshold: 4,
+            leveled_fanout: 10,
         }
     }
 }
@@ -143,6 +179,24 @@ impl EngineConfig {
             "memtable space too small"
         );
         assert!(self.commitlog_segment_size_mb >= 1, "segment size >= 1MB");
+        assert!(
+            (4..=1_024).contains(&self.sstable_block_size_kb),
+            "sstable_block_size_kb in [4, 1024]"
+        );
+        assert!(self.stcs_min_threshold >= 2, "stcs_min_threshold >= 2");
+        assert!(self.stcs_max_threshold >= 2, "stcs_max_threshold >= 2");
+        assert!(self.leveled_fanout >= 2, "leveled_fanout >= 2");
+    }
+
+    /// SSTable block size in bytes (the cache-hierarchy granularity).
+    pub fn sstable_block_bytes(&self) -> u64 {
+        (self.sstable_block_size_kb as u64) << 10
+    }
+
+    /// Effective STCS max threshold: never below the min threshold, so
+    /// clamped-but-crossed search proposals stay well-formed.
+    pub fn stcs_max_threshold_effective(&self) -> usize {
+        self.stcs_max_threshold.max(self.stcs_min_threshold) as usize
     }
 
     /// The memtable flush threshold in logical bytes:
@@ -184,6 +238,11 @@ pub enum ParamId {
     BatchSizeWarnThresholdKb,
     TombstoneGcGraceSeconds,
     StreamThroughputOutboundMbPerSec,
+    FileCacheEviction,
+    SstableBlockSizeKb,
+    StcsMinThreshold,
+    StcsMaxThreshold,
+    LeveledFanout,
 }
 
 /// Value domain of one parameter.
@@ -393,6 +452,36 @@ pub fn param_catalog() -> Vec<ParamInfo> {
             domain: Int { min: 25, max: 400 },
             default: 200.0,
         },
+        ParamInfo {
+            id: FileCacheEviction,
+            name: "file_cache_eviction",
+            domain: Categorical { options: 3 },
+            default: 0.0,
+        },
+        ParamInfo {
+            id: SstableBlockSizeKb,
+            name: "sstable_block_size_in_kb",
+            domain: Int { min: 16, max: 256 },
+            default: 64.0,
+        },
+        ParamInfo {
+            id: StcsMinThreshold,
+            name: "stcs_min_threshold",
+            domain: Int { min: 2, max: 8 },
+            default: 4.0,
+        },
+        ParamInfo {
+            id: StcsMaxThreshold,
+            name: "stcs_max_threshold",
+            domain: Int { min: 2, max: 32 },
+            default: 4.0,
+        },
+        ParamInfo {
+            id: LeveledFanout,
+            name: "leveled_fanout",
+            domain: Int { min: 4, max: 16 },
+            default: 10.0,
+        },
     ]
 }
 
@@ -432,6 +521,15 @@ impl EngineConfig {
             BatchSizeWarnThresholdKb => self.batch_size_warn_threshold_kb as f64,
             TombstoneGcGraceSeconds => self.tombstone_gc_grace_seconds as f64,
             StreamThroughputOutboundMbPerSec => self.stream_throughput_outbound_mb_per_sec as f64,
+            FileCacheEviction => match self.file_cache_eviction {
+                EvictionPolicy::Lru => 0.0,
+                EvictionPolicy::Fifo => 1.0,
+                EvictionPolicy::Clock => 2.0,
+            },
+            SstableBlockSizeKb => self.sstable_block_size_kb as f64,
+            StcsMinThreshold => self.stcs_min_threshold as f64,
+            StcsMaxThreshold => self.stcs_max_threshold as f64,
+            LeveledFanout => self.leveled_fanout as f64,
         }
     }
 
@@ -484,6 +582,17 @@ impl EngineConfig {
             StreamThroughputOutboundMbPerSec => {
                 self.stream_throughput_outbound_mb_per_sec = as_u32(value, 25, 400)
             }
+            FileCacheEviction => {
+                self.file_cache_eviction = match (value.round() as i64).clamp(0, 2) {
+                    0 => EvictionPolicy::Lru,
+                    1 => EvictionPolicy::Fifo,
+                    _ => EvictionPolicy::Clock,
+                };
+            }
+            SstableBlockSizeKb => self.sstable_block_size_kb = as_u32(value, 16, 256),
+            StcsMinThreshold => self.stcs_min_threshold = as_u32(value, 2, 8),
+            StcsMaxThreshold => self.stcs_max_threshold = as_u32(value, 2, 32),
+            LeveledFanout => self.leveled_fanout = as_u32(value, 4, 16),
         }
     }
 
@@ -638,12 +747,12 @@ mod tests {
     }
 
     #[test]
-    fn catalog_covers_25_parameters() {
+    fn catalog_covers_30_parameters() {
         let catalog = param_catalog();
-        assert_eq!(catalog.len(), 25);
+        assert_eq!(catalog.len(), 30);
         // Names are unique.
         let names: std::collections::HashSet<_> = catalog.iter().map(|p| p.name).collect();
-        assert_eq!(names.len(), 25);
+        assert_eq!(names.len(), 30);
     }
 
     #[test]
@@ -700,6 +809,64 @@ mod tests {
         assert_eq!(back.len(), diff.len());
         assert_eq!(back[0].from, diff[0].to);
         assert_eq!(back[0].to, diff[0].from);
+    }
+
+    #[test]
+    fn diff_of_every_param_changed_is_exactly_catalog_order() {
+        // Build a config that differs from the default on *every*
+        // parameter, mutating in reverse catalog order to prove the
+        // diff re-canonicalises. Guards the obs reconfigure-span
+        // output, which serialises diffs positionally.
+        let base = EngineConfig::default();
+        let mut next = base.clone();
+        for p in param_catalog().into_iter().rev() {
+            let flipped = match p.domain {
+                ParamDomain::Categorical { options } => {
+                    (p.default as u32 + 1) as f64 % options as f64
+                }
+                ParamDomain::Int { min, max } => {
+                    if p.default as i64 == max {
+                        min as f64
+                    } else {
+                        max as f64
+                    }
+                }
+                ParamDomain::Real { min, max } => {
+                    if (p.default - max).abs() < 1e-12 {
+                        min
+                    } else {
+                        max
+                    }
+                }
+            };
+            next.set(p.id, flipped);
+            assert_ne!(base.get(p.id), next.get(p.id), "failed to flip {}", p.name);
+        }
+        let diff = base.diff(&next);
+        let catalog = param_catalog();
+        assert_eq!(diff.len(), catalog.len(), "every param must appear");
+        for (change, info) in diff.iter().zip(catalog.iter()) {
+            assert_eq!(change.id, info.id, "diff order diverged at {}", info.name);
+            assert_eq!(change.name, info.name);
+        }
+    }
+
+    #[test]
+    fn new_wide_space_params_roundtrip_and_validate() {
+        let mut cfg = EngineConfig::default();
+        assert_eq!(cfg.file_cache_eviction, EvictionPolicy::Lru);
+        assert_eq!(cfg.sstable_block_bytes(), 64 << 10);
+        cfg.set(ParamId::FileCacheEviction, 2.0);
+        assert_eq!(cfg.file_cache_eviction, EvictionPolicy::Clock);
+        cfg.set(ParamId::SstableBlockSizeKb, 1_000.0);
+        assert_eq!(cfg.sstable_block_size_kb, 256, "clamped to domain max");
+        // min > max: effective max threshold never drops below min.
+        cfg.set(ParamId::StcsMinThreshold, 8.0);
+        cfg.set(ParamId::StcsMaxThreshold, 2.0);
+        assert_eq!(cfg.stcs_max_threshold_effective(), 8);
+        cfg.set(ParamId::LeveledFanout, 4.0);
+        assert_eq!(cfg.leveled_fanout, 4);
+        cfg.validate();
     }
 
     #[test]

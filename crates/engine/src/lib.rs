@@ -8,7 +8,7 @@
 //! and leveled compaction — while charging every hardware cost (CPU
 //! service with contention, disk transfers, network hops) to a
 //! deterministic discrete-event clock. Throughput numbers are therefore
-//! reproducible, fast to obtain, and respond to the same 25 configuration
+//! reproducible, fast to obtain, and respond to the same 30 configuration
 //! parameters through the same mechanisms as the real systems.
 //!
 //! Layout:
@@ -16,7 +16,7 @@
 //! - [`sim`] — virtual clock and device models;
 //! - [`store`] — memtable, SSTables, bloom filters, LRU caches, commit log;
 //! - [`compaction`] — size-tiered and leveled strategies;
-//! - [`config`] — the 25-parameter catalog and the server hardware spec;
+//! - [`config`] — the 30-parameter catalog and the server hardware spec;
 //! - [`server`] — the single-node engine event loop;
 //! - [`snapshot`] — prebuilt preload states for snapshot-reuse grids;
 //! - [`mod@bench`] — the closed-loop YCSB-like benchmark driver;
@@ -59,8 +59,8 @@ pub use bench::run_benchmark;
 pub use cluster::{replicas_of, Cluster, ClusterSpec, HashRing};
 pub use compaction::{CompactionJob, Strategy};
 pub use config::{
-    param_catalog, CompactionMethod, CostModel, EngineConfig, ParamChange, ParamDomain, ParamId,
-    ParamInfo, ServerSpec,
+    param_catalog, CompactionMethod, CostModel, EngineConfig, EvictionPolicy, ParamChange,
+    ParamDomain, ParamId, ParamInfo, ServerSpec,
 };
 pub use fasthash::{FastHashMap, FastHashSet, FxHasher};
 pub use metrics::EngineMetrics;

@@ -190,30 +190,54 @@ impl Engine {
         Self::with_flavor(cfg, spec, Flavor::default())
     }
 
-    /// Creates an engine with an explicit behavioural flavor.
-    pub fn with_flavor(cfg: EngineConfig, spec: ServerSpec, flavor: Flavor) -> Self {
-        cfg.validate();
-        let strategy = match cfg.compaction_method {
+    /// The compaction strategy a configuration maps to — the one place
+    /// `compaction_method` and the tier/level shape knobs
+    /// (`stcs_min_threshold`, `stcs_max_threshold`, `leveled_fanout`)
+    /// become a [`Strategy`]. Construction and [`Engine::reconfigure`]
+    /// both call this, so a reconfigured engine can never drift from a
+    /// freshly-built one.
+    fn strategy_for(cfg: &EngineConfig, flavor: &Flavor) -> Strategy {
+        match cfg.compaction_method {
             CompactionMethod::SizeTiered => {
                 let mut s = Strategy::size_tiered_default();
-                // ScyllaDB "triggers a compaction process with respect to
-                // each flush operation" (§2.2.2): pairs merge eagerly.
-                if flavor.compact_on_every_flush {
-                    if let Strategy::SizeTiered { min_threshold, .. } = &mut s {
+                if let Strategy::SizeTiered {
+                    min_threshold,
+                    max_threshold,
+                    ..
+                } = &mut s
+                {
+                    *min_threshold = cfg.stcs_min_threshold as usize;
+                    *max_threshold = cfg.stcs_max_threshold_effective();
+                    // ScyllaDB "triggers a compaction process with respect
+                    // to each flush operation" (§2.2.2): pairs merge
+                    // eagerly regardless of the configured threshold.
+                    if flavor.compact_on_every_flush {
                         *min_threshold = 2;
                     }
                 }
                 s
             }
-            CompactionMethod::Leveled => Strategy::leveled_default(),
-        };
+            CompactionMethod::Leveled => {
+                let mut s = Strategy::leveled_default();
+                if let Strategy::Leveled { fanout, .. } = &mut s {
+                    *fanout = cfg.leveled_fanout as u64;
+                }
+                s
+            }
+        }
+    }
+
+    /// Creates an engine with an explicit behavioural flavor.
+    pub fn with_flavor(cfg: EngineConfig, spec: ServerSpec, flavor: Flavor) -> Self {
+        cfg.validate();
+        let strategy = Self::strategy_for(&cfg, &flavor);
         let write_factor = if cfg.trickle_fsync { 0.95 } else { 1.0 };
         let disk = DiskDevice::new(
             spec.disk_seq_read_mbps,
             spec.disk_seq_write_mbps * write_factor,
             SimDuration::from_millis_f64(spec.disk_rand_access_ms),
         );
-        let block = spec.block_bytes as usize;
+        let block = cfg.sstable_block_bytes() as usize;
         let blocks_of = |mb: u32| ((mb as usize) << 20) / block;
         let commitlog = CommitLog::new(
             cfg.commitlog_sync,
@@ -229,7 +253,10 @@ impl Engine {
             ),
             write_pool: WorkerPool::new(cfg.concurrent_writes as usize),
             read_pool: WorkerPool::new(cfg.concurrent_reads as usize),
-            file_cache: LruCache::new(blocks_of(cfg.file_cache_size_mb)),
+            file_cache: LruCache::with_policy(
+                blocks_of(cfg.file_cache_size_mb),
+                cfg.file_cache_eviction,
+            ),
             os_cache: LruCache::new(blocks_of(spec.os_cache_mb)),
             key_cache: LruCache::new(((cfg.key_cache_size_mb as usize) << 20) / 64),
             // The row cache holds whole partitions; MG-RAST partitions are
@@ -331,18 +358,7 @@ impl Engine {
         let old = std::mem::replace(&mut self.cfg, cfg);
         let cfg = &self.cfg;
 
-        self.strategy = match cfg.compaction_method {
-            CompactionMethod::SizeTiered => {
-                let mut s = Strategy::size_tiered_default();
-                if self.flavor.compact_on_every_flush {
-                    if let Strategy::SizeTiered { min_threshold, .. } = &mut s {
-                        *min_threshold = 2;
-                    }
-                }
-                s
-            }
-            CompactionMethod::Leveled => Strategy::leveled_default(),
-        };
+        self.strategy = Self::strategy_for(cfg, &self.flavor);
 
         if cfg.concurrent_writes != old.concurrent_writes {
             self.write_pool = WorkerPool::new(cfg.concurrent_writes as usize);
@@ -351,10 +367,22 @@ impl Engine {
             self.read_pool = WorkerPool::new(cfg.concurrent_reads as usize);
         }
 
-        let block = self.spec.block_bytes as usize;
+        let block = cfg.sstable_block_bytes() as usize;
         let blocks_of = |mb: u32| ((mb as usize) << 20) / block;
-        if cfg.file_cache_size_mb != old.file_cache_size_mb {
-            self.file_cache = LruCache::new(blocks_of(cfg.file_cache_size_mb));
+        let block_changed = cfg.sstable_block_size_kb != old.sstable_block_size_kb;
+        if cfg.file_cache_size_mb != old.file_cache_size_mb
+            || cfg.file_cache_eviction != old.file_cache_eviction
+            || block_changed
+        {
+            self.file_cache =
+                LruCache::with_policy(blocks_of(cfg.file_cache_size_mb), cfg.file_cache_eviction);
+        }
+        if block_changed {
+            // The OS page cache counts entries in blocks too: a new block
+            // granularity resizes (and cools) it. Existing SSTables keep
+            // the block layout they were written with; new flushes and
+            // compaction outputs pick up the new size.
+            self.os_cache = LruCache::new(blocks_of(self.spec.os_cache_mb));
         }
         if cfg.key_cache_size_mb != old.key_cache_size_mb {
             self.key_cache = LruCache::new(((cfg.key_cache_size_mb as usize) << 20) / 64);
@@ -476,7 +504,7 @@ impl Engine {
         snapshot::SnapshotKey {
             method: self.cfg.compaction_method,
             fp_bits: self.cfg.bloom_filter_fp_chance.to_bits(),
-            block_bytes: self.spec.block_bytes,
+            block_bytes: self.cfg.sstable_block_bytes(),
             leveled_target: self.strategy.output_target_bytes(),
         }
     }
@@ -760,7 +788,7 @@ impl Engine {
                 0,
                 job.rows,
                 self.cfg.bloom_filter_fp_chance,
-                self.spec.block_bytes,
+                self.cfg.sstable_block_bytes(),
             );
             // Freshly written blocks are in the OS cache (written through).
             for b in 0..table.block_count() {
@@ -878,7 +906,7 @@ impl Engine {
         let refs: Vec<&SsTable> = inputs.iter().collect();
         let target = self.strategy.output_target_bytes();
         let fp = self.cfg.bloom_filter_fp_chance;
-        let block = self.spec.block_bytes;
+        let block = self.cfg.sstable_block_bytes();
         // Tombstones can be evicted when the merge provably covers every
         // version of its keys: a size-tiered merge of the entire table set,
         // or a leveled merge into the bottom-most level.
@@ -920,8 +948,8 @@ impl Engine {
             }
         }
         if self.cfg.sstable_preemptive_open_mb > 0 {
-            let warm_blocks =
-                ((self.cfg.sstable_preemptive_open_mb as u64) << 20) / self.spec.block_bytes;
+            let warm_blocks = ((self.cfg.sstable_preemptive_open_mb as u64) << 20)
+                / self.cfg.sstable_block_bytes();
             for &(nid, blocks) in &output_ids {
                 for b in 0..blocks.min(warm_blocks as u32) {
                     if self.file_cache.insert((nid, b), ()).is_some() {
@@ -1055,7 +1083,7 @@ impl Engine {
             io_ready = self.disk.access(
                 io_ready,
                 DiskReq::RandRead {
-                    bytes: self.spec.block_bytes,
+                    bytes: self.cfg.sstable_block_bytes(),
                 },
             );
             self.os_cache.insert((tid, block), ());

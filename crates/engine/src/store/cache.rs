@@ -6,7 +6,13 @@
 //! engine's fast deterministic hasher ([`crate::fasthash`]): cache
 //! touches are the single hottest operation in the simulation (several
 //! per simulated read), so hashing cost dominates here.
+//!
+//! The replacement policy is selectable ([`EvictionPolicy`]): LRU is the
+//! default and what every cache used before the policy became a tunable;
+//! FIFO skips the promote-on-hit, and Clock gives referenced entries one
+//! second chance before reclaiming them.
 
+pub use crate::config::EvictionPolicy;
 use crate::fasthash::FastHashMap;
 use std::hash::Hash;
 
@@ -18,25 +24,36 @@ struct Entry<K, V> {
     value: V,
     prev: usize,
     next: usize,
+    /// Clock policy's second-chance bit; unused by LRU/FIFO.
+    referenced: bool,
 }
 
-/// A least-recently-used cache with a fixed capacity in entries.
+/// A fixed-capacity (in entries) cache with a selectable eviction
+/// policy. The name predates the policy knob: LRU remains the default
+/// and the behaviour of [`LruCache::new`].
 #[derive(Debug, Clone)]
 pub struct LruCache<K, V> {
     map: FastHashMap<K, usize>,
     slab: Vec<Option<Entry<K, V>>>,
     free: Vec<usize>,
-    head: usize, // most recently used
-    tail: usize, // least recently used
+    head: usize, // most recently used / newest
+    tail: usize, // least recently used / oldest
     capacity: usize,
+    policy: EvictionPolicy,
     hits: u64,
     misses: u64,
 }
 
 impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
-    /// Creates a cache holding at most `capacity` entries. A capacity of 0
-    /// produces a cache that stores nothing (every lookup misses).
+    /// Creates an LRU-policy cache holding at most `capacity` entries. A
+    /// capacity of 0 produces a cache that stores nothing (every lookup
+    /// misses).
     pub fn new(capacity: usize) -> Self {
+        Self::with_policy(capacity, EvictionPolicy::Lru)
+    }
+
+    /// Creates a cache with an explicit eviction policy.
+    pub fn with_policy(capacity: usize, policy: EvictionPolicy) -> Self {
         LruCache {
             map: FastHashMap::with_capacity_and_hasher(capacity.min(1 << 20), Default::default()),
             slab: Vec::new(),
@@ -44,9 +61,15 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
             head: NIL,
             tail: NIL,
             capacity,
+            policy,
             hits: 0,
             misses: 0,
         }
+    }
+
+    /// The eviction policy this cache was built with.
+    pub fn policy(&self) -> EvictionPolicy {
+        self.policy
     }
 
     /// Maximum number of entries.
@@ -125,15 +148,35 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         }
     }
 
-    /// Looks up `key`, promoting it to most-recently-used on a hit.
+    /// The slab index to evict under the current policy. LRU and FIFO
+    /// take the tail (coldest / oldest). Clock sweeps from the tail,
+    /// granting each referenced entry one second chance (clear the bit,
+    /// recycle to the head) before reclaiming the first unreferenced
+    /// entry; terminates because each sweep step clears a bit.
+    fn select_victim(&mut self) -> usize {
+        match self.policy {
+            EvictionPolicy::Lru | EvictionPolicy::Fifo => self.tail,
+            EvictionPolicy::Clock => loop {
+                let idx = self.tail;
+                debug_assert_ne!(idx, NIL);
+                if !self.entry(idx).referenced {
+                    break idx;
+                }
+                self.entry_mut(idx).referenced = false;
+                self.unlink(idx);
+                self.push_front(idx);
+            },
+        }
+    }
+
+    /// Looks up `key`. What a hit does depends on the policy: LRU
+    /// promotes the entry to most-recently-used, Clock sets its
+    /// second-chance bit, FIFO records nothing.
     pub fn get(&mut self, key: &K) -> Option<&V> {
         match self.map.get(key).copied() {
             Some(idx) => {
                 self.hits += 1;
-                if idx != self.head {
-                    self.unlink(idx);
-                    self.push_front(idx);
-                }
+                self.touch(idx);
                 Some(&self.entry(idx).value)
             }
             None => {
@@ -143,32 +186,42 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         }
     }
 
+    fn touch(&mut self, idx: usize) {
+        match self.policy {
+            EvictionPolicy::Lru => {
+                if idx != self.head {
+                    self.unlink(idx);
+                    self.push_front(idx);
+                }
+            }
+            EvictionPolicy::Fifo => {}
+            EvictionPolicy::Clock => self.entry_mut(idx).referenced = true,
+        }
+    }
+
     /// Tests presence without touching recency or hit statistics.
     pub fn peek(&self, key: &K) -> Option<&V> {
         self.map.get(key).map(|&idx| &self.entry(idx).value)
     }
 
-    /// Inserts a key/value pair, evicting the least recently used entry if
-    /// at capacity. Returns the evicted `(key, value)` if any.
+    /// Inserts a key/value pair, evicting the policy's victim entry if at
+    /// capacity. Returns the evicted `(key, value)` if any.
     pub fn insert(&mut self, key: K, value: V) -> Option<(K, V)> {
         if self.capacity == 0 {
             return None;
         }
         if let Some(&idx) = self.map.get(&key) {
             self.entry_mut(idx).value = value;
-            if idx != self.head {
-                self.unlink(idx);
-                self.push_front(idx);
-            }
+            self.touch(idx);
             return None;
         }
         let evicted = if self.map.len() >= self.capacity {
-            let lru = self.tail;
-            debug_assert_ne!(lru, NIL);
-            self.unlink(lru);
-            let old = self.slab[lru].take().expect("tail entry present");
+            let victim = self.select_victim();
+            debug_assert_ne!(victim, NIL);
+            self.unlink(victim);
+            let old = self.slab[victim].take().expect("victim entry present");
             self.map.remove(&old.key);
-            self.free.push(lru);
+            self.free.push(victim);
             Some((old.key, old.value))
         } else {
             None
@@ -179,6 +232,7 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
             value,
             prev: NIL,
             next: NIL,
+            referenced: false,
         };
         let idx = match self.free.pop() {
             Some(i) => {
@@ -338,6 +392,52 @@ mod tests {
         }
         // The most recently inserted key is present.
         assert!(c.peek(&((10_000u64 - 1) % 250)).is_some());
+    }
+
+    #[test]
+    fn fifo_evicts_oldest_despite_hits() {
+        let mut c = LruCache::with_policy(2, EvictionPolicy::Fifo);
+        c.insert("a", 1);
+        c.insert("b", 2);
+        let _ = c.get(&"a"); // does not protect "a" under FIFO
+        let evicted = c.insert("c", 3);
+        assert_eq!(evicted, Some(("a", 1)));
+        assert_eq!(c.peek(&"b"), Some(&2));
+    }
+
+    #[test]
+    fn clock_grants_second_chance() {
+        let mut c = LruCache::with_policy(2, EvictionPolicy::Clock);
+        c.insert("a", 1);
+        c.insert("b", 2);
+        let _ = c.get(&"a"); // sets a's referenced bit
+        let evicted = c.insert("c", 3);
+        // "a" is referenced -> second chance; "b" is the victim.
+        assert_eq!(evicted, Some(("b", 2)));
+        assert_eq!(c.peek(&"a"), Some(&1));
+        // a's bit was consumed: next eviction with no further hits takes "a".
+        let evicted = c.insert("d", 4);
+        assert_eq!(evicted, Some(("a", 1)));
+    }
+
+    #[test]
+    fn clock_sweep_terminates_when_all_referenced() {
+        let mut c = LruCache::with_policy(3, EvictionPolicy::Clock);
+        for i in 0..3 {
+            c.insert(i, ());
+        }
+        for i in 0..3 {
+            let _ = c.get(&i);
+        }
+        // Every entry referenced: the sweep clears all bits, then evicts.
+        assert!(c.insert(99, ()).is_some());
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn default_policy_is_lru() {
+        let c: LruCache<u64, ()> = LruCache::new(4);
+        assert_eq!(c.policy(), EvictionPolicy::Lru);
     }
 
     #[test]

@@ -202,98 +202,22 @@ impl Optimizer {
     /// entry points return bit-identical results for the same
     /// deterministic fitness function and seed.
     ///
+    /// This is a thin driver over [`GaStepper`] — the inverted
+    /// propose/observe form of the same loop — so the stepper cannot
+    /// drift from the closed-loop entry points.
+    ///
     /// # Panics
     ///
     /// Panics when the evaluator returns a vector whose length differs
     /// from the population it was given.
     pub fn run_batch<F: FnMut(&[Vec<f64>]) -> Vec<f64>>(&self, mut fitness: F) -> GaResult {
-        let cfg = &self.cfg;
-        let mut rng = StdRng::seed_from_u64(cfg.seed);
-        let mut evaluations = 0usize;
-
-        let score_all = |pop: &[Vec<f64>], evals: &mut usize, f: &mut F| -> Vec<f64> {
-            *evals += pop.len();
-            let raw = f(pop);
-            assert_eq!(raw.len(), pop.len(), "batch evaluator length mismatch");
-            self.penalize(pop, raw)
-        };
-
-        // Initial population: uniformly random feasible genomes.
-        let mut population: Vec<Vec<f64>> = (0..cfg.population)
-            .map(|_| self.space.sample(&mut rng))
-            .collect();
-        let mut scores = score_all(&population, &mut evaluations, &mut fitness);
-
-        let mut history = Vec::with_capacity(cfg.generations);
-        for _gen in 0..cfg.generations {
-            // Rank current population (descending score, NaN last).
-            let mut order: Vec<usize> = (0..population.len()).collect();
-            order.sort_by(|&a, &b| cmp_fitness(scores[b], scores[a]));
-            history.push(scores[order[0]]);
-            // Emitted between RNG draws, so instrumentation cannot perturb
-            // the deterministic trajectory.
-            if obs::enabled(obs::Level::Trace) {
-                obs::event(
-                    "ga",
-                    "generation",
-                    obs::Level::Trace,
-                    vec![
-                        ("gen", obs::Value::U64(_gen as u64)),
-                        ("best_so_far", obs::Value::F64(scores[order[0]])),
-                        ("evaluations", obs::Value::U64(evaluations as u64)),
-                    ],
-                );
-            }
-
-            let mut next: Vec<Vec<f64>> = Vec::with_capacity(cfg.population);
-            // Elites survive unchanged.
-            for &i in order.iter().take(cfg.elitism) {
-                next.push(population[i].clone());
-            }
-            while next.len() < cfg.population {
-                let a = self.tournament_select(&scores, &mut rng);
-                let child = if rng.gen_bool(cfg.crossover_rate) {
-                    let b = self.tournament_select(&scores, &mut rng);
-                    self.crossover(&population[a], &population[b], &mut rng)
-                } else {
-                    population[a].clone()
-                };
-                next.push(self.mutate(child, &mut rng));
-            }
-            population = next;
-            scores = score_all(&population, &mut evaluations, &mut fitness);
+        let mut stepper = GaStepper::new(self.space.clone(), self.cfg);
+        while !stepper.is_done() {
+            let batch = stepper.propose();
+            let raw = fitness(&batch);
+            stepper.observe(&raw);
         }
-
-        // Extract the best, repaired onto the feasible set and re-scored.
-        let (best_idx, _) = scores
-            .iter()
-            .enumerate()
-            .max_by(|a, b| cmp_fitness(*a.1, *b.1))
-            .expect("non-empty population");
-        let best_genome = self.space.repair(&population[best_idx]);
-        evaluations += 1;
-        let finals = fitness(std::slice::from_ref(&best_genome));
-        assert_eq!(finals.len(), 1, "batch evaluator length mismatch");
-        let best_fitness = finals[0];
-        history.push(best_fitness);
-        if obs::enabled(obs::Level::Debug) {
-            obs::event(
-                "ga",
-                "search_done",
-                obs::Level::Debug,
-                vec![
-                    ("generations", obs::Value::U64(cfg.generations as u64)),
-                    ("evaluations", obs::Value::U64(evaluations as u64)),
-                    ("best_fitness", obs::Value::F64(best_fitness)),
-                ],
-            );
-        }
-        GaResult {
-            best_genome,
-            best_fitness,
-            evaluations,
-            history,
-        }
+        stepper.into_result()
     }
 
     /// Applies the configured constraint handling to one generation's raw
@@ -392,6 +316,214 @@ impl Optimizer {
             }
         }
         genome
+    }
+}
+
+/// Where a [`GaStepper`] is in its propose/observe loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StepPhase {
+    /// A full population batch is pending evaluation.
+    Scoring,
+    /// The single repaired best genome is pending its final raw score.
+    Final,
+    /// The run is complete; [`GaStepper::into_result`] is available.
+    Done,
+}
+
+/// The genetic algorithm as a resumable propose/observe state machine.
+///
+/// [`Optimizer::run_batch`] drives this stepper in a closed loop; callers
+/// that need inversion of control (a search-strategy scheduler
+/// interleaving several optimizers over one surrogate, or a latent-space
+/// search that decodes proposals before scoring them) drive it directly:
+///
+/// 1. [`GaStepper::propose`] returns the batch of genomes awaiting
+///    fitness — a full generation, then a final single repaired genome;
+/// 2. the caller scores the batch however it likes;
+/// 3. [`GaStepper::observe`] accepts the raw fitness values and advances
+///    the GA (rank, breed, or finish).
+///
+/// RNG draw order is identical to the pre-stepper closed-loop
+/// implementation, so trajectories are bit-identical for a fixed seed —
+/// `run_batch` is a thin driver over this type, and the equivalence is
+/// pinned by test.
+#[derive(Debug, Clone)]
+pub struct GaStepper {
+    opt: Optimizer,
+    rng: StdRng,
+    /// The batch awaiting scores (a population, or `[repaired best]`).
+    pending: Vec<Vec<f64>>,
+    /// Generations ranked-and-bred so far.
+    gen_index: usize,
+    history: Vec<f64>,
+    evaluations: usize,
+    phase: StepPhase,
+    result: Option<GaResult>,
+}
+
+impl GaStepper {
+    /// Creates a stepper and samples the initial population (the first
+    /// batch [`GaStepper::propose`] returns).
+    ///
+    /// # Panics
+    ///
+    /// Same validation as [`Optimizer::new`].
+    pub fn new(space: SearchSpace, cfg: GaConfig) -> Self {
+        let opt = Optimizer::new(space, cfg);
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        // Initial population: uniformly random feasible genomes.
+        let pending: Vec<Vec<f64>> = (0..cfg.population)
+            .map(|_| opt.space.sample(&mut rng))
+            .collect();
+        GaStepper {
+            opt,
+            rng,
+            pending,
+            gen_index: 0,
+            history: Vec::with_capacity(cfg.generations),
+            evaluations: 0,
+            phase: StepPhase::Scoring,
+            result: None,
+        }
+    }
+
+    /// The batch of genomes currently awaiting fitness values. Empty once
+    /// the run is done.
+    pub fn propose(&self) -> Vec<Vec<f64>> {
+        match self.phase {
+            StepPhase::Scoring | StepPhase::Final => self.pending.clone(),
+            StepPhase::Done => Vec::new(),
+        }
+    }
+
+    /// Feeds back one raw fitness per genome of the last
+    /// [`GaStepper::propose`] batch, in order, and advances the GA.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `raw` has the wrong length or the run is already done.
+    pub fn observe(&mut self, raw: &[f64]) {
+        assert_eq!(
+            raw.len(),
+            self.pending.len(),
+            "batch evaluator length mismatch"
+        );
+        match self.phase {
+            StepPhase::Scoring => {
+                self.evaluations += self.pending.len();
+                let scores = self.opt.penalize(&self.pending, raw.to_vec());
+                if self.gen_index < self.opt.cfg.generations {
+                    self.rank_and_breed(scores);
+                    self.gen_index += 1;
+                } else {
+                    self.finalize(scores);
+                }
+            }
+            StepPhase::Final => {
+                let best_fitness = raw[0];
+                self.history.push(best_fitness);
+                if obs::enabled(obs::Level::Debug) {
+                    obs::event(
+                        "ga",
+                        "search_done",
+                        obs::Level::Debug,
+                        vec![
+                            (
+                                "generations",
+                                obs::Value::U64(self.opt.cfg.generations as u64),
+                            ),
+                            ("evaluations", obs::Value::U64(self.evaluations as u64)),
+                            ("best_fitness", obs::Value::F64(best_fitness)),
+                        ],
+                    );
+                }
+                self.result = Some(GaResult {
+                    best_genome: self.pending.pop().expect("final batch has one genome"),
+                    best_fitness,
+                    evaluations: self.evaluations,
+                    history: std::mem::take(&mut self.history),
+                });
+                self.pending.clear();
+                self.phase = StepPhase::Done;
+            }
+            StepPhase::Done => panic!("observe called on a finished GaStepper"),
+        }
+    }
+
+    /// Ranks the scored population and breeds the next generation into
+    /// `pending`.
+    fn rank_and_breed(&mut self, scores: Vec<f64>) {
+        let cfg = self.opt.cfg;
+        let population = &self.pending;
+        // Rank current population (descending score, NaN last).
+        let mut order: Vec<usize> = (0..population.len()).collect();
+        order.sort_by(|&a, &b| cmp_fitness(scores[b], scores[a]));
+        self.history.push(scores[order[0]]);
+        // Emitted between RNG draws, so instrumentation cannot perturb
+        // the deterministic trajectory.
+        if obs::enabled(obs::Level::Trace) {
+            obs::event(
+                "ga",
+                "generation",
+                obs::Level::Trace,
+                vec![
+                    ("gen", obs::Value::U64(self.gen_index as u64)),
+                    ("best_so_far", obs::Value::F64(scores[order[0]])),
+                    ("evaluations", obs::Value::U64(self.evaluations as u64)),
+                ],
+            );
+        }
+
+        let mut next: Vec<Vec<f64>> = Vec::with_capacity(cfg.population);
+        // Elites survive unchanged.
+        for &i in order.iter().take(cfg.elitism) {
+            next.push(population[i].clone());
+        }
+        while next.len() < cfg.population {
+            let a = self.opt.tournament_select(&scores, &mut self.rng);
+            let child = if self.rng.gen_bool(cfg.crossover_rate) {
+                let b = self.opt.tournament_select(&scores, &mut self.rng);
+                self.opt
+                    .crossover(&population[a], &population[b], &mut self.rng)
+            } else {
+                population[a].clone()
+            };
+            next.push(self.opt.mutate(child, &mut self.rng));
+        }
+        self.pending = next;
+    }
+
+    /// Picks the best of the final generation, repairs it onto the
+    /// feasible set, and stages it as the last single-genome batch.
+    fn finalize(&mut self, scores: Vec<f64>) {
+        let (best_idx, _) = scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| cmp_fitness(*a.1, *b.1))
+            .expect("non-empty population");
+        let best_genome = self.opt.space.repair(&self.pending[best_idx]);
+        self.evaluations += 1;
+        self.pending = vec![best_genome];
+        self.phase = StepPhase::Final;
+    }
+
+    /// Whether the run has finished (no further batches to score).
+    pub fn is_done(&self) -> bool {
+        self.phase == StepPhase::Done
+    }
+
+    /// Fitness evaluations charged so far.
+    pub fn evaluations(&self) -> usize {
+        self.evaluations
+    }
+
+    /// The finished result.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the run is not done yet.
+    pub fn into_result(self) -> GaResult {
+        self.result.expect("GaStepper still has batches to score")
     }
 }
 

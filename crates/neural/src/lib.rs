@@ -50,6 +50,7 @@
 #![warn(missing_docs)]
 
 pub mod activation;
+pub mod autoencoder;
 pub mod dataset;
 pub mod ensemble;
 pub mod knn;
@@ -61,6 +62,7 @@ pub mod train;
 pub mod tree;
 
 pub use activation::Activation;
+pub use autoencoder::{Autoencoder, AutoencoderConfig};
 pub use dataset::Dataset;
 pub use ensemble::{RegressionMetrics, SurrogateConfig, SurrogateModel};
 pub use knn::KnnRegressor;

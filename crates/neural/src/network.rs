@@ -270,6 +270,7 @@ mod tests {
     use super::*;
 
     #[test]
+    #[allow(clippy::identity_op)] // per-layer weight/bias terms kept explicit
     fn params_roundtrip() {
         let mut net = Network::new(3, &[5, 2], 7);
         let p = net.params();

@@ -1,0 +1,288 @@
+//! BestConfig-style divide-and-diverge sampling.
+//!
+//! Each round draws a Latin-hypercube sample inside the current bounds
+//! box. When the round improves on the incumbent, the box *divides*:
+//! bounds shrink around the new incumbent so the next round samples the
+//! promising neighbourhood at higher resolution. When a round fails to
+//! improve, the box *diverges*: bounds reset to the full space so the
+//! search escapes the local plateau instead of drilling into it. The
+//! recursion depth is implicit in how many consecutive improving rounds
+//! occur.
+//!
+//! Deterministic: the RNG consumption schedule per round is fixed (one
+//! permutation and one jitter draw per gene per sample) regardless of
+//! observations, so two equally seeded instances fed equal scores stay
+//! in lockstep.
+
+use crate::{SearchBest, SearchStrategy};
+use rafiki_ga::SearchSpace;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Hyperparameters for [`BestConfigSearch`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BestConfigConfig {
+    /// Latin-hypercube samples per round (≥ 2).
+    pub samples_per_round: usize,
+    /// Number of rounds; total budget = `samples_per_round * rounds`.
+    pub rounds: usize,
+    /// Per-gene bound-width multiplier applied on improvement (in (0,1)).
+    pub shrink: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for BestConfigConfig {
+    fn default() -> Self {
+        BestConfigConfig {
+            samples_per_round: 20,
+            rounds: 8,
+            shrink: 0.5,
+            seed: 0,
+        }
+    }
+}
+
+/// Divide-and-diverge Latin-hypercube search over a [`SearchSpace`].
+pub struct BestConfigSearch {
+    space: SearchSpace,
+    cfg: BestConfigConfig,
+    rng: StdRng,
+    /// Current per-gene sampling bounds (start at the full space).
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+    round: usize,
+    pending: Vec<Vec<f64>>,
+    evaluations: usize,
+    best: Option<SearchBest>,
+}
+
+impl BestConfigSearch {
+    /// Creates the strategy and draws the first round.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `samples_per_round < 2`, `rounds == 0`, or `shrink`
+    /// is outside `(0, 1)`.
+    pub fn new(space: SearchSpace, cfg: BestConfigConfig) -> Self {
+        assert!(
+            cfg.samples_per_round >= 2,
+            "samples_per_round must be at least 2"
+        );
+        assert!(cfg.rounds > 0, "rounds must be positive");
+        assert!(
+            cfg.shrink > 0.0 && cfg.shrink < 1.0,
+            "shrink must be in (0, 1)"
+        );
+        let lo: Vec<f64> = space.genes().iter().map(|g| g.lo()).collect();
+        let hi: Vec<f64> = space.genes().iter().map(|g| g.hi()).collect();
+        let mut s = BestConfigSearch {
+            space,
+            cfg,
+            rng: StdRng::seed_from_u64(cfg.seed),
+            lo,
+            hi,
+            round: 0,
+            pending: Vec::new(),
+            evaluations: 0,
+            best: None,
+        };
+        s.pending = s.lhs_round();
+        s
+    }
+
+    /// One Latin-hypercube sample of `samples_per_round` genomes inside
+    /// the current bounds: each gene's range is cut into `n` strata, a
+    /// seeded permutation assigns one stratum per genome, and a jitter
+    /// draw places the value inside its stratum. Every genome is then
+    /// repaired onto the constraint set (discrete rounding, clamping).
+    fn lhs_round(&mut self) -> Vec<Vec<f64>> {
+        let n = self.cfg.samples_per_round;
+        let d = self.space.len();
+        let mut genomes = vec![vec![0.0; d]; n];
+        for j in 0..d {
+            // Fisher-Yates permutation of strata indices.
+            let mut perm: Vec<usize> = (0..n).collect();
+            for i in (1..n).rev() {
+                let k = self.rng.gen_range(0..=i);
+                perm.swap(i, k);
+            }
+            let width = self.hi[j] - self.lo[j];
+            for (i, genome) in genomes.iter_mut().enumerate() {
+                let jitter: f64 = self.rng.gen();
+                let t = (perm[i] as f64 + jitter) / n as f64;
+                genome[j] = self.lo[j] + t * width;
+            }
+        }
+        genomes.iter().map(|g| self.space.repair(g)).collect()
+    }
+
+    /// Shrinks the bounds box around `center`, clipped to the full
+    /// space. A box may collapse to (near) a point on a gene; the next
+    /// divergence resets it.
+    fn divide_around(&mut self, center: &[f64]) {
+        for (j, gene) in self.space.genes().iter().enumerate() {
+            let half = (self.hi[j] - self.lo[j]) * self.cfg.shrink * 0.5;
+            self.lo[j] = (center[j] - half).max(gene.lo());
+            self.hi[j] = (center[j] + half).min(gene.hi());
+        }
+    }
+
+    /// Resets the bounds box to the full space.
+    fn diverge(&mut self) {
+        for (j, gene) in self.space.genes().iter().enumerate() {
+            self.lo[j] = gene.lo();
+            self.hi[j] = gene.hi();
+        }
+    }
+
+    /// Current per-gene bounds (testing/introspection).
+    pub fn bounds(&self) -> (&[f64], &[f64]) {
+        (&self.lo, &self.hi)
+    }
+}
+
+impl SearchStrategy for BestConfigSearch {
+    fn name(&self) -> &'static str {
+        "bestconfig"
+    }
+
+    fn propose(&mut self) -> Vec<Vec<f64>> {
+        self.pending.clone()
+    }
+
+    fn observe(&mut self, raw: &[f64]) {
+        assert!(
+            !self.is_done(),
+            "observe called after bestconfig search completed"
+        );
+        assert_eq!(
+            raw.len(),
+            self.pending.len(),
+            "batch evaluator length mismatch"
+        );
+        self.evaluations += raw.len();
+        let (mut bi, mut bf) = (0usize, f64::NEG_INFINITY);
+        for (i, &f) in raw.iter().enumerate() {
+            if f > bf {
+                (bi, bf) = (i, f);
+            }
+        }
+        let improved = bf.is_finite() && self.best.as_ref().is_none_or(|b| bf > b.fitness);
+        if improved {
+            let incumbent = self.pending[bi].clone();
+            SearchBest::improve(&mut self.best, &incumbent, bf);
+            self.divide_around(&incumbent);
+        } else {
+            self.diverge();
+        }
+        self.round += 1;
+        if self.round < self.cfg.rounds {
+            self.pending = self.lhs_round();
+        } else {
+            self.pending.clear();
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.round >= self.cfg.rounds
+    }
+
+    fn evaluations(&self) -> usize {
+        self.evaluations
+    }
+
+    fn best(&self) -> Option<SearchBest> {
+        self.best.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_strategy;
+    use crate::testutil::{batch_objective, objective, wide_space};
+
+    fn cfg(seed: u64) -> BestConfigConfig {
+        BestConfigConfig {
+            samples_per_round: 16,
+            rounds: 8,
+            seed,
+            ..BestConfigConfig::default()
+        }
+    }
+
+    #[test]
+    fn budget_is_rounds_times_samples() {
+        let mut s = BestConfigSearch::new(wide_space(), cfg(4));
+        let out = run_strategy(&mut s, batch_objective);
+        assert_eq!(out.evaluations, 16 * 8);
+        assert_eq!(out.batches, 8);
+    }
+
+    #[test]
+    fn lhs_rounds_are_feasible_and_stratified() {
+        let space = wide_space();
+        let mut s = BestConfigSearch::new(space.clone(), cfg(2));
+        let batch = s.propose();
+        assert_eq!(batch.len(), 16);
+        for g in &batch {
+            assert!(space.is_feasible(g));
+        }
+        // Stratification: the continuous gene (index 5, range 0.10..0.90)
+        // gets one sample per stratum, so min and max land in the outer
+        // quarters of the range — uniform sampling cannot guarantee that.
+        let vals: Vec<f64> = batch.iter().map(|g| g[5]).collect();
+        let lo = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(lo < 0.10 + 0.8 / 16.0 * 2.0, "min stratum missed: {lo}");
+        assert!(hi > 0.90 - 0.8 / 16.0 * 2.0, "max stratum missed: {hi}");
+    }
+
+    #[test]
+    fn improvement_divides_bounds_around_incumbent() {
+        let mut s = BestConfigSearch::new(wide_space(), cfg(6));
+        let batch = s.propose();
+        let raw = batch_objective(&batch);
+        s.observe(&raw);
+        let best = s.best().expect("first round always improves");
+        let (lo, hi) = s.bounds();
+        let full = wide_space();
+        let mut narrowed = 0;
+        for (j, gene) in full.genes().iter().enumerate() {
+            assert!(lo[j] <= best.genome[j] && best.genome[j] <= hi[j]);
+            if hi[j] - lo[j] < gene.hi() - gene.lo() {
+                narrowed += 1;
+            }
+        }
+        assert!(narrowed > 0, "no gene bounds narrowed after improvement");
+    }
+
+    #[test]
+    fn stagnation_diverges_back_to_full_bounds() {
+        let mut s = BestConfigSearch::new(wide_space(), cfg(8));
+        // Round 1: real scores (establishes an incumbent, shrinks).
+        let raw = batch_objective(&s.propose());
+        s.observe(&raw);
+        // Round 2: uniformly terrible scores — no improvement possible.
+        let n = s.propose().len();
+        s.observe(&vec![f64::NEG_INFINITY; n]);
+        let (lo, hi) = s.bounds();
+        for (j, gene) in wide_space().genes().iter().enumerate() {
+            assert_eq!(lo[j], gene.lo());
+            assert_eq!(hi[j], gene.hi());
+        }
+    }
+
+    #[test]
+    fn beats_its_own_first_round() {
+        let mut s = BestConfigSearch::new(wide_space(), cfg(3));
+        let first = s.propose();
+        let first_best = batch_objective(&first)
+            .into_iter()
+            .fold(f64::NEG_INFINITY, f64::max);
+        let out = run_strategy(&mut s, batch_objective);
+        assert!(out.best_fitness >= first_best);
+        assert_eq!(out.best_fitness, objective(&out.best_genome));
+    }
+}

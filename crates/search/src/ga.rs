@@ -1,0 +1,161 @@
+//! The paper's genetic algorithm wrapped as a [`SearchStrategy`].
+//!
+//! This is a zero-logic adapter over [`rafiki_ga::GaStepper`]: the
+//! proposal sequence, evaluation count, and final best are bit-identical
+//! to calling [`rafiki_ga::Optimizer::run_batch`] with the same space,
+//! config, and evaluator — the stepper *is* the optimizer's inner loop,
+//! and a test below pins the equivalence.
+
+use crate::{SearchBest, SearchStrategy};
+use rafiki_ga::{GaConfig, GaResult, GaStepper, SearchSpace};
+
+/// [`rafiki_ga`]'s generational GA as a pluggable strategy.
+pub struct GaSearch {
+    space: SearchSpace,
+    stepper: Option<GaStepper>,
+    result: Option<GaResult>,
+    /// Best feasible genome observed mid-run (before the GA's own final
+    /// verdict is available).
+    running_best: Option<SearchBest>,
+    last_batch: Vec<Vec<f64>>,
+}
+
+impl GaSearch {
+    /// Creates the strategy. Panics on an invalid [`GaConfig`] exactly
+    /// like [`rafiki_ga::Optimizer::new`].
+    pub fn new(space: SearchSpace, cfg: GaConfig) -> Self {
+        GaSearch {
+            stepper: Some(GaStepper::new(space.clone(), cfg)),
+            space,
+            result: None,
+            running_best: None,
+            last_batch: Vec::new(),
+        }
+    }
+
+    /// The GA's own result once finished (the bit-identical
+    /// [`GaResult`]), if the run is complete.
+    pub fn result(&self) -> Option<&GaResult> {
+        self.result.as_ref()
+    }
+}
+
+impl SearchStrategy for GaSearch {
+    fn name(&self) -> &'static str {
+        "ga"
+    }
+
+    fn propose(&mut self) -> Vec<Vec<f64>> {
+        let batch = match &self.stepper {
+            Some(s) => s.propose(),
+            None => Vec::new(),
+        };
+        self.last_batch = batch.clone();
+        batch
+    }
+
+    fn observe(&mut self, raw: &[f64]) {
+        let stepper = self
+            .stepper
+            .as_mut()
+            .expect("observe called after GA search completed");
+        for (genome, &fit) in self.last_batch.iter().zip(raw) {
+            if self.space.is_feasible(genome) {
+                SearchBest::improve(&mut self.running_best, genome, fit);
+            }
+        }
+        stepper.observe(raw);
+        if stepper.is_done() {
+            let result = self.stepper.take().expect("stepper present").into_result();
+            self.result = Some(result);
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.result.is_some()
+    }
+
+    fn evaluations(&self) -> usize {
+        match (&self.result, &self.stepper) {
+            (Some(r), _) => r.evaluations,
+            (None, Some(s)) => s.evaluations(),
+            (None, None) => 0,
+        }
+    }
+
+    fn best(&self) -> Option<SearchBest> {
+        // Once the GA has ruled, its verdict is authoritative — that is
+        // what makes the outcome bit-identical to `Optimizer::run_batch`.
+        if let Some(r) = &self.result {
+            return Some(SearchBest {
+                genome: r.best_genome.clone(),
+                fitness: r.best_fitness,
+            });
+        }
+        self.running_best.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_strategy;
+    use crate::testutil::{batch_objective, wide_space};
+    use rafiki_ga::Optimizer;
+
+    fn cfg(seed: u64) -> GaConfig {
+        GaConfig {
+            population: 12,
+            generations: 7,
+            seed,
+            ..GaConfig::default()
+        }
+    }
+
+    #[test]
+    fn bit_identical_to_direct_optimizer_run_batch() {
+        for seed in [0u64, 1, 7, 99, 12345] {
+            let direct = Optimizer::new(wide_space(), cfg(seed)).run_batch(batch_objective);
+            let mut strat = GaSearch::new(wide_space(), cfg(seed));
+            let out = run_strategy(&mut strat, batch_objective);
+            assert_eq!(out.best_genome, direct.best_genome, "seed {seed}");
+            assert_eq!(out.best_fitness, direct.best_fitness, "seed {seed}");
+            assert_eq!(out.evaluations, direct.evaluations, "seed {seed}");
+            let result = strat.result().expect("finished");
+            assert_eq!(result.history, direct.history, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn proposal_sequence_matches_raw_stepper() {
+        let mut stepper = GaStepper::new(wide_space(), cfg(3));
+        let mut strat = GaSearch::new(wide_space(), cfg(3));
+        while !stepper.is_done() {
+            assert!(!strat.is_done());
+            let (a, b) = (stepper.propose(), strat.propose());
+            assert_eq!(a, b);
+            let raw = batch_objective(&a);
+            stepper.observe(&raw);
+            strat.observe(&raw);
+        }
+        assert!(strat.is_done());
+        assert!(strat.propose().is_empty());
+    }
+
+    #[test]
+    fn evaluation_budget_is_pop_times_gens_plus_one_plus_final() {
+        let mut strat = GaSearch::new(wide_space(), cfg(11));
+        let out = run_strategy(&mut strat, batch_objective);
+        // Initial population + one population per generation + the final
+        // repaired-best confirmation pass.
+        assert_eq!(out.evaluations, 12 * (7 + 1) + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "after GA search completed")]
+    fn observe_after_done_panics() {
+        let mut strat = GaSearch::new(wide_space(), cfg(0));
+        run_strategy(&mut strat, batch_objective);
+        strat.observe(&[0.0]);
+    }
+}

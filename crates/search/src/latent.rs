@@ -1,0 +1,360 @@
+//! LatentTune-style latent-space search.
+//!
+//! High-dimensional configuration spaces are mostly empty: the engine's
+//! knobs are correlated (cache sizes track pool sizes, compaction
+//! thresholds track method), so the useful region is a low-dimensional
+//! manifold. This strategy learns that manifold and searches it:
+//!
+//! 1. **Design phase** — draw a seeded uniform design over the full
+//!    space and evaluate it (those evaluations count against the
+//!    budget and seed the incumbent).
+//! 2. **Fit** — min-max normalize the design genomes to `[0, 1]^d` and
+//!    train a [`rafiki_neural::Autoencoder`] (`d → k` tanh bottleneck)
+//!    on them.
+//! 3. **Latent phase** — run the [`rafiki_ga::GaStepper`] over the box
+//!    `[-1, 1]^k` (sound because the tanh encoder maps every real
+//!    config into it). Each latent proposal is decoded, clamped to
+//!    `[0, 1]^d`, denormalized, and repaired onto the constraint set
+//!    before the evaluator sees it — callers only ever score feasible
+//!    genomes.
+//!
+//! Deterministic end to end: design sampling, autoencoder init, and the
+//! latent GA all run on seeded RNGs.
+
+use crate::{SearchBest, SearchStrategy};
+use rafiki_ga::{GaConfig, GaStepper, GeneSpec, SearchSpace};
+use rafiki_neural::{Autoencoder, AutoencoderConfig, Matrix};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Hyperparameters for [`LatentSearch`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatentConfig {
+    /// Uniform design samples evaluated before fitting the autoencoder.
+    pub design_samples: usize,
+    /// Latent dimension `k` (clamped to the space dimension).
+    pub latent_dim: usize,
+    /// Autoencoder training epochs.
+    pub autoencoder_epochs: usize,
+    /// GA configuration for the latent-space search (its `seed` drives
+    /// the latent GA; population/generations set the latent budget).
+    pub ga: GaConfig,
+    /// Seed for design sampling and autoencoder initialization.
+    pub seed: u64,
+}
+
+impl Default for LatentConfig {
+    fn default() -> Self {
+        LatentConfig {
+            design_samples: 64,
+            latent_dim: 4,
+            autoencoder_epochs: 200,
+            ga: GaConfig::default(),
+            seed: 0,
+        }
+    }
+}
+
+enum Phase {
+    /// Waiting on scores for the uniform design.
+    Design,
+    /// Driving the latent GA.
+    Latent,
+    Done,
+}
+
+/// Autoencoder-compressed search over a [`SearchSpace`].
+pub struct LatentSearch {
+    space: SearchSpace,
+    cfg: LatentConfig,
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+    phase: Phase,
+    /// Decoded (feasible) genomes awaiting scores.
+    pending: Vec<Vec<f64>>,
+    ae: Option<Autoencoder>,
+    stepper: Option<GaStepper>,
+    evaluations: usize,
+    best: Option<SearchBest>,
+}
+
+impl LatentSearch {
+    /// Creates the strategy and draws the design batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `design_samples < 2` or `latent_dim == 0`, or on an
+    /// invalid latent [`GaConfig`].
+    pub fn new(space: SearchSpace, cfg: LatentConfig) -> Self {
+        assert!(cfg.design_samples >= 2, "design_samples must be at least 2");
+        assert!(cfg.latent_dim >= 1, "latent_dim must be positive");
+        let lo: Vec<f64> = space.genes().iter().map(|g| g.lo()).collect();
+        let hi: Vec<f64> = space.genes().iter().map(|g| g.hi()).collect();
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let design: Vec<Vec<f64>> = (0..cfg.design_samples)
+            .map(|_| space.sample(&mut rng))
+            .collect();
+        LatentSearch {
+            space,
+            cfg,
+            lo,
+            hi,
+            phase: Phase::Design,
+            pending: design,
+            ae: None,
+            stepper: None,
+            evaluations: 0,
+            best: None,
+        }
+    }
+
+    /// Latent dimension actually in use (config clamped to the space).
+    pub fn latent_dim(&self) -> usize {
+        self.cfg.latent_dim.min(self.space.len())
+    }
+
+    /// The trained autoencoder, once the design phase has completed.
+    pub fn autoencoder(&self) -> Option<&Autoencoder> {
+        self.ae.as_ref()
+    }
+
+    fn normalize(&self, genome: &[f64]) -> Vec<f64> {
+        genome
+            .iter()
+            .enumerate()
+            .map(|(j, &v)| {
+                let w = self.hi[j] - self.lo[j];
+                if w > 0.0 {
+                    (v - self.lo[j]) / w
+                } else {
+                    0.0
+                }
+            })
+            .collect()
+    }
+
+    /// Decodes one latent point into a feasible genome: clamp the latent
+    /// coordinates to the search box, decode, clamp the reconstruction
+    /// to `[0, 1]^d`, denormalize, repair.
+    fn decode_genome(&self, z: &[f64]) -> Vec<f64> {
+        let ae = self.ae.as_ref().expect("autoencoder trained");
+        let zc: Vec<f64> = z.iter().map(|&v| v.clamp(-1.0, 1.0)).collect();
+        let xn = ae.decode(&zc);
+        let raw: Vec<f64> = xn
+            .iter()
+            .enumerate()
+            .map(|(j, &t)| self.lo[j] + t.clamp(0.0, 1.0) * (self.hi[j] - self.lo[j]))
+            .collect();
+        self.space.repair(&raw)
+    }
+
+    fn decode_batch(&self, latent: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        latent.iter().map(|z| self.decode_genome(z)).collect()
+    }
+
+    /// Trains the autoencoder on the (normalized) design and boots the
+    /// latent GA.
+    fn fit_and_start_latent(&mut self, design: &[Vec<f64>]) {
+        let k = self.latent_dim();
+        let rows: Vec<Vec<f64>> = design.iter().map(|g| self.normalize(g)).collect();
+        let ae = Autoencoder::train(
+            &Matrix::from_rows(&rows),
+            &AutoencoderConfig {
+                latent_dim: k,
+                epochs: self.cfg.autoencoder_epochs,
+                seed: self.cfg.seed,
+                ..AutoencoderConfig::default()
+            },
+        );
+        self.ae = Some(ae);
+        let latent_space = SearchSpace::new(vec![
+            GeneSpec::Real {
+                min: -1.0,
+                max: 1.0,
+            };
+            k
+        ]);
+        let stepper = GaStepper::new(latent_space, self.cfg.ga);
+        self.pending = self.decode_batch(&stepper.propose());
+        self.stepper = Some(stepper);
+        self.phase = Phase::Latent;
+    }
+}
+
+impl SearchStrategy for LatentSearch {
+    fn name(&self) -> &'static str {
+        "latent"
+    }
+
+    fn propose(&mut self) -> Vec<Vec<f64>> {
+        self.pending.clone()
+    }
+
+    fn observe(&mut self, raw: &[f64]) {
+        assert!(
+            !matches!(self.phase, Phase::Done),
+            "observe called after latent search completed"
+        );
+        assert_eq!(
+            raw.len(),
+            self.pending.len(),
+            "batch evaluator length mismatch"
+        );
+        self.evaluations += raw.len();
+        for (genome, &fit) in self.pending.iter().zip(raw) {
+            SearchBest::improve(&mut self.best, genome, fit);
+        }
+        match self.phase {
+            Phase::Design => {
+                let design = std::mem::take(&mut self.pending);
+                self.fit_and_start_latent(&design);
+            }
+            Phase::Latent => {
+                let stepper = self.stepper.as_mut().expect("latent GA running");
+                stepper.observe(raw);
+                if stepper.is_done() {
+                    self.pending.clear();
+                    self.phase = Phase::Done;
+                } else {
+                    let next = stepper.propose();
+                    self.pending = self.decode_batch(&next);
+                }
+            }
+            Phase::Done => unreachable!("guarded above"),
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        matches!(self.phase, Phase::Done)
+    }
+
+    fn evaluations(&self) -> usize {
+        self.evaluations
+    }
+
+    fn best(&self) -> Option<SearchBest> {
+        self.best.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_strategy;
+    use crate::testutil::{batch_objective, wide_space};
+    use proptest::prelude::*;
+
+    fn cfg(seed: u64) -> LatentConfig {
+        LatentConfig {
+            design_samples: 24,
+            latent_dim: 3,
+            autoencoder_epochs: 40,
+            ga: GaConfig {
+                population: 10,
+                generations: 5,
+                seed,
+                ..GaConfig::default()
+            },
+            seed,
+        }
+    }
+
+    #[test]
+    fn budget_is_design_plus_latent_ga() {
+        let mut s = LatentSearch::new(wide_space(), cfg(5));
+        let out = run_strategy(&mut s, batch_objective);
+        // design + GA's pop*(gens+1) + final confirmation pass.
+        assert_eq!(out.evaluations, 24 + 10 * (5 + 1) + 1);
+    }
+
+    #[test]
+    fn every_proposal_is_feasible_in_both_phases() {
+        let space = wide_space();
+        let mut s = LatentSearch::new(space.clone(), cfg(2));
+        while !s.is_done() {
+            let batch = s.propose();
+            for g in &batch {
+                assert!(space.is_feasible(g), "infeasible proposal {g:?}");
+            }
+            let raw = batch_objective(&batch);
+            s.observe(&raw);
+        }
+    }
+
+    #[test]
+    fn latent_dim_clamps_to_space_dimension() {
+        let space = SearchSpace::new(vec![
+            GeneSpec::Real { min: 0.0, max: 1.0 },
+            GeneSpec::Real { min: 0.0, max: 2.0 },
+        ]);
+        let s = LatentSearch::new(
+            space,
+            LatentConfig {
+                latent_dim: 9,
+                ..cfg(0)
+            },
+        );
+        assert_eq!(s.latent_dim(), 2);
+    }
+
+    #[test]
+    fn decoded_points_round_trip_inside_bounds() {
+        // Train on a real design, then decode a deterministic sweep of
+        // latent points (corners, axes, center) — every reconstruction
+        // must land inside the typed bounds and on the constraint set.
+        let space = wide_space();
+        let mut s = LatentSearch::new(space.clone(), cfg(7));
+        let raw = batch_objective(&s.propose());
+        s.observe(&raw); // trains the autoencoder
+        let k = s.latent_dim();
+        let mut probes: Vec<Vec<f64>> = vec![vec![0.0; k]];
+        for j in 0..k {
+            for v in [-1.0, -0.5, 0.5, 1.0] {
+                let mut z = vec![0.0; k];
+                z[j] = v;
+                probes.push(z);
+            }
+        }
+        probes.push(vec![1.0; k]);
+        probes.push(vec![-1.0; k]);
+        for z in &probes {
+            let g = s.decode_genome(z);
+            assert!(space.is_feasible(&g), "decoded {z:?} -> infeasible {g:?}");
+            for (j, gene) in space.genes().iter().enumerate() {
+                assert!(
+                    g[j] >= gene.lo() && g[j] <= gene.hi(),
+                    "gene {j} out of bounds: {}",
+                    g[j]
+                );
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn decode_is_feasible_for_random_seeds_and_latents(
+            seed in 0u64..1_000,
+            zs in prop::collection::vec(-1.5f64..1.5, 3..4),
+        ) {
+            // Even out-of-box latent points (mutation overshoot) decode
+            // to feasible genomes, for arbitrary training seeds.
+            let space = wide_space();
+            let mut s = LatentSearch::new(space.clone(), cfg(seed));
+            let raw = batch_objective(&s.propose());
+            s.observe(&raw);
+            let g = s.decode_genome(&zs);
+            prop_assert!(space.is_feasible(&g));
+        }
+    }
+
+    #[test]
+    fn incumbent_never_regresses_from_design_phase() {
+        let mut s = LatentSearch::new(wide_space(), cfg(11));
+        let raw = batch_objective(&s.propose());
+        let design_best = raw.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        s.observe(&raw);
+        let out = run_strategy(&mut s, batch_objective);
+        assert!(out.best_fitness >= design_best);
+    }
+}

@@ -1,0 +1,144 @@
+//! Pure random search — the floor baseline.
+//!
+//! Uniform seeded sampling of the space, emitted in fixed-size batches
+//! until a fixed evaluation budget is spent. Any strategy that cannot
+//! beat this on equal budget is not searching, it is decorating.
+
+use crate::{SearchBest, SearchStrategy};
+use rafiki_ga::SearchSpace;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Uniform random search over a [`SearchSpace`] with a fixed budget.
+pub struct RandomSearch {
+    space: SearchSpace,
+    rng: StdRng,
+    budget: usize,
+    batch_size: usize,
+    pending: Vec<Vec<f64>>,
+    evaluations: usize,
+    best: Option<SearchBest>,
+}
+
+impl RandomSearch {
+    /// Creates the strategy: `budget` total evaluations consumed in
+    /// batches of `batch_size` (the last batch is truncated to fit).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `budget` or `batch_size` is zero.
+    pub fn new(space: SearchSpace, budget: usize, batch_size: usize, seed: u64) -> Self {
+        assert!(budget > 0, "budget must be positive");
+        assert!(batch_size > 0, "batch_size must be positive");
+        let mut s = RandomSearch {
+            space,
+            rng: StdRng::seed_from_u64(seed),
+            budget,
+            batch_size,
+            pending: Vec::new(),
+            evaluations: 0,
+            best: None,
+        };
+        s.refill();
+        s
+    }
+
+    fn refill(&mut self) {
+        let remaining = self.budget - self.evaluations;
+        let n = remaining.min(self.batch_size);
+        self.pending = (0..n).map(|_| self.space.sample(&mut self.rng)).collect();
+    }
+}
+
+impl SearchStrategy for RandomSearch {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn propose(&mut self) -> Vec<Vec<f64>> {
+        self.pending.clone()
+    }
+
+    fn observe(&mut self, raw: &[f64]) {
+        assert!(
+            !self.is_done(),
+            "observe called after random search completed"
+        );
+        assert_eq!(
+            raw.len(),
+            self.pending.len(),
+            "batch evaluator length mismatch"
+        );
+        self.evaluations += raw.len();
+        for (genome, &fit) in self.pending.iter().zip(raw) {
+            SearchBest::improve(&mut self.best, genome, fit);
+        }
+        if self.evaluations < self.budget {
+            self.refill();
+        } else {
+            self.pending.clear();
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.evaluations >= self.budget
+    }
+
+    fn evaluations(&self) -> usize {
+        self.evaluations
+    }
+
+    fn best(&self) -> Option<SearchBest> {
+        self.best.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_strategy;
+    use crate::testutil::{batch_objective, wide_space};
+
+    #[test]
+    fn spends_exactly_its_budget() {
+        let mut s = RandomSearch::new(wide_space(), 37, 10, 5);
+        let out = run_strategy(&mut s, batch_objective);
+        assert_eq!(out.evaluations, 37);
+        assert_eq!(out.batches, 4); // 10 + 10 + 10 + 7
+    }
+
+    #[test]
+    fn every_proposal_is_feasible() {
+        let space = wide_space();
+        let mut s = RandomSearch::new(space.clone(), 64, 16, 9);
+        while !s.is_done() {
+            let batch = s.propose();
+            for g in &batch {
+                assert!(space.is_feasible(g));
+            }
+            let raw = batch_objective(&batch);
+            s.observe(&raw);
+        }
+    }
+
+    #[test]
+    fn best_tracks_the_maximum_observed() {
+        let mut s = RandomSearch::new(wide_space(), 48, 12, 1);
+        let mut seen = f64::NEG_INFINITY;
+        while !s.is_done() {
+            let batch = s.propose();
+            let raw = batch_objective(&batch);
+            seen = raw.iter().cloned().fold(seen, f64::max);
+            s.observe(&raw);
+        }
+        assert_eq!(s.best().expect("has best").fitness, seen);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn observe_length_mismatch_panics() {
+        let mut s = RandomSearch::new(wide_space(), 8, 4, 0);
+        let _ = s.propose();
+        s.observe(&[1.0]);
+    }
+}

@@ -47,8 +47,10 @@ fn default_config_prefers_writes_over_reads() {
 fn leveled_compaction_helps_read_heavy_workloads() {
     let mut stcs = engine(EngineConfig::default());
     let st = run_benchmark(&mut stcs, &mut workload(0.95, 2), &quick_bench());
-    let mut cfg = EngineConfig::default();
-    cfg.compaction_method = CompactionMethod::Leveled;
+    let cfg = EngineConfig {
+        compaction_method: CompactionMethod::Leveled,
+        ..Default::default()
+    };
     let mut lcs = engine(cfg);
     let lv = run_benchmark(&mut lcs, &mut workload(0.95, 2), &quick_bench());
     assert!(
